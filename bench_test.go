@@ -1,0 +1,250 @@
+package tinyevm_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§VI), exposed through `go test -bench`. The heavier
+// experiments use reduced populations here; cmd/benchtables runs the
+// full-scale versions (7,000 contracts, 200 rounds) and prints the
+// paper-style artifacts.
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/benchtables -all
+//
+// Custom metrics are reported with benchmark-standard units so the
+// measured values (on the simulated device clock) appear next to the
+// host-side ns/op numbers.
+
+import (
+	"testing"
+	"time"
+
+	"tinyevm"
+	"tinyevm/internal/corpus"
+	"tinyevm/internal/device"
+	"tinyevm/internal/eval"
+	"tinyevm/internal/evm"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/uint256"
+)
+
+// BenchmarkTableI_OpcodeCategories regenerates Table I (spec comparison)
+// by introspecting the live opcode tables.
+func BenchmarkTableI_OpcodeCategories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := eval.RunTableI()
+		if t.Tiny.SmartContract != 21 {
+			b.Fatal("Table I drifted")
+		}
+	}
+}
+
+// BenchmarkTableII_Fig3_Fig4_Deploy runs the corpus deployment
+// experiment (Table II, Figures 3a-3c and 4) on a reduced population and
+// reports the key measured values as custom metrics.
+func BenchmarkTableII_Fig3_Fig4_Deploy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := eval.RunCorpus(300, nil)
+		b.ReportMetric(100*rep.SuccessRate(), "%deployable")
+		b.ReportMetric(rep.TimeSummary.Mean, "ms-mean-deploy")
+		b.ReportMetric(rep.StackSummary.Mean, "words-mean-SP")
+	}
+}
+
+// BenchmarkTableIII_Footprint regenerates the Table III memory budget.
+func BenchmarkTableIII_Footprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := eval.RunTableIII()
+		if f.UsedRAM == 0 {
+			b.Fatal("footprint empty")
+		}
+	}
+	f := eval.RunTableIII()
+	b.ReportMetric(float64(f.UsedRAM), "B-RAM-used")
+}
+
+// BenchmarkTableIV_Fig5_OffchainRound runs full off-chain rounds
+// (Table IV / Figure 5) and reports the car-side energy and active time.
+func BenchmarkTableIV_Fig5_OffchainRound(b *testing.B) {
+	var lastEnergy, lastActive float64
+	for i := 0; i < b.N; i++ {
+		s, err := protocol.NewScenario(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := protocol.RunParkingRound(s, 10_000, 250, 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastEnergy = r.CarEnergy.TotalEnergyMJ
+		lastActive = float64(r.ActiveTime.Microseconds()) / 1000
+	}
+	b.ReportMetric(lastEnergy, "mJ/round")
+	b.ReportMetric(lastActive, "ms-active/round")
+}
+
+// BenchmarkTableV_CryptoOps measures the device crypto engine (Table V).
+func BenchmarkTableV_CryptoOps(b *testing.B) {
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		t := eval.RunTableV()
+		total = t.Total()
+	}
+	b.ReportMetric(float64(total.Microseconds())/1000, "ms-crypto-round")
+}
+
+// BenchmarkPayment measures one off-chain payment end to end (the
+// paper's 584 ms claim), on the simulated device clocks.
+func BenchmarkPayment(b *testing.B) {
+	s, err := protocol.NewScenario(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := s.Car.OpenChannel(s.Lot.Address(), 500_000_000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Lot.AcceptChannel(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last time.Duration
+	for i := 0; i < b.N; i++ {
+		lat, err := protocol.PaymentLatency(s, cs.ID, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = lat
+	}
+	b.ReportMetric(float64(last.Microseconds())/1000, "ms-device-latency")
+}
+
+// BenchmarkDeploy4KBContract measures deploying one representative 4 KB
+// contract (the corpus mean) — the unit behind Figure 4.
+func BenchmarkDeploy4KBContract(b *testing.B) {
+	params := corpus.DefaultParams(64)
+	contracts := corpus.Generate(params)
+	// Pick the contract closest to 4 KB.
+	best := contracts[0]
+	for _, c := range contracts {
+		if diff(len(c.InitCode), 4096) < diff(len(best.InitCode), 4096) {
+			best = c
+		}
+	}
+	dev := device.New("bench-deploy")
+	b.ResetTimer()
+	var last time.Duration
+	for i := 0; i < b.N; i++ {
+		dev.ResetMeasurement()
+		res := dev.Deploy(best.InitCode, 0)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		last = res.Time
+	}
+	b.ReportMetric(float64(last.Microseconds())/1000, "ms-device-time")
+	b.ReportMetric(float64(len(best.InitCode)), "B-contract")
+}
+
+// BenchmarkAblationWordWidth runs the word-width ablation.
+func BenchmarkAblationWordWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := eval.RunWordWidthAblation()
+		if len(rows) != 3 {
+			b.Fatal("ablation broken")
+		}
+	}
+}
+
+// BenchmarkEVMTransferCall measures the raw interpreter on a minimal
+// value-return contract (host-side performance of the VM itself).
+func BenchmarkEVMTransferCall(b *testing.B) {
+	sys, node, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = sys
+	code, err := tinyevm.Assemble(`
+		PUSH1 0x2a
+		PUSH1 0x00
+		MSTORE
+		PUSH1 0x20
+		PUSH1 0x00
+		RETURN
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The constructor is 12 bytes, so the 10-byte runtime starts at
+	// offset 0x0c.
+	init, err := tinyevm.Assemble(`
+		PUSH1 0x0a
+		PUSH1 0x0c
+		PUSH1 0x00
+		CODECOPY
+		PUSH1 0x0a
+		PUSH1 0x00
+		RETURN
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init = append(init, code...)
+	res := node.DeployContract(init)
+	if res.Err != nil {
+		b.Fatal(res.Err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := node.CallContract(res.Address, nil, 0)
+		if out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+}
+
+// BenchmarkInterpreterThroughput measures raw interpreter steps/sec on a
+// tight arithmetic loop, the figure behind the §III-C "hundreds of MCU
+// cycles per opcode" discussion.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	code, err := tinyevm.Assemble(`
+		PUSH2 0x0200
+		:loop JUMPDEST
+		PUSH1 1
+		SWAP1
+		SUB
+		DUP1
+		ISZERO
+		PUSH :done
+		JUMPI
+		PUSH :loop
+		JUMP
+		:done JUMPDEST
+		STOP
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	state := evm.NewMemState()
+	addr, _ := tinyevm.HexToAddress("0x00000000000000000000000000000000000000aa")
+	state.SetCode(addr, code)
+	vm := evm.New(evm.TinyConfig(), state)
+	caller, _ := tinyevm.HexToAddress("0x00000000000000000000000000000000000000bb")
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res := vm.Call(caller, addr, nil, uint256.NewInt(0), 0)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		steps += res.Stats.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+}
+
+func diff(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,131 @@
+// Fraud dispute: the paper's security mechanism in action (§V).
+//
+//	go run ./examples/fraud-dispute
+//
+// The car (payer) tries to cheat: after paying for three hours on one
+// channel it commits an OLD countersigned checkpoint of that channel to
+// the chain, claiming it only owes for one hour. The parking sensor
+// detects the stale commit, challenges with the newest state —
+// "reporting a signed transaction or state with a higher sequence number
+// denotes a valid next state" — and at settlement claims the car's
+// remaining deposit as the insurance money.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tinyevm"
+)
+
+func main() {
+	sys, lot, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "parking-sensor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	car, err := sys.AddNode("smart-car")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lot.RegisterSensor(tinyevm.SensorTemperature, func(uint64) (uint64, error) { return 2000, nil })
+	car.RegisterSensor(tinyevm.SensorTemperature, func(uint64) (uint64, error) { return 2000, nil })
+
+	const deposit = 10_000_000
+	if r, err := car.DepositOnChain(sys.Chain, deposit); err != nil || !r.Status {
+		log.Fatalf("deposit: %v %v", err, r)
+	}
+
+	cs, err := car.OpenChannel(lot.Address(), deposit, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lot.AcceptChannel(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("channel #%d open, %d wei deposited on-chain as insurance\n\n", cs.ID, deposit)
+
+	// Hour 1, then a countersigned checkpoint of the channel state.
+	if _, err := car.Pay(cs.ID, 1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lot.ReceivePayment(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := car.CloseChannel(cs.ID); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lot.AcceptClose(); err != nil {
+		log.Fatal(err)
+	}
+	stale, err := car.FinishClose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hour 1: paid 1000000; checkpoint countersigned (seq %d, cumulative %d)\n",
+		stale.Seq, stale.Cumulative)
+
+	// Both parties reopen and the parking continues: hours 2 and 3.
+	if err := car.Reopen(cs.ID); err != nil {
+		log.Fatal(err)
+	}
+	if err := lot.Reopen(cs.ID); err != nil {
+		log.Fatal(err)
+	}
+	for hour := 2; hour <= 3; hour++ {
+		if _, err := car.Pay(cs.ID, 1_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := lot.ReceivePayment(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := car.CloseChannel(cs.ID); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lot.AcceptClose(); err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := car.FinishClose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hours 2-3: paid 2000000 more (final seq %d, cumulative %d)\n\n",
+		fresh.Seq, fresh.Cumulative)
+
+	// THE FRAUD: the car commits the old checkpoint and races to exit.
+	fmt.Println("FRAUD ATTEMPT: car commits the old 1M-wei checkpoint and requests exit")
+	if r, err := car.CommitOnChain(sys.Chain, stale); err != nil || !r.Status {
+		log.Fatalf("stale commit: %v %v", err, r)
+	}
+	if r, err := car.ExitOnChain(sys.Chain); err != nil || !r.Status {
+		log.Fatalf("exit: %v %v", err, r)
+	}
+	exit, _ := sys.Template.Exit()
+	fmt.Printf("challenge period open until block %d\n\n", exit.Deadline)
+
+	// THE DEFENSE: the lot uploads the newest state from its own
+	// side-chain log during the challenge period.
+	fmt.Println("DEFENSE: lot challenges with the newer signed state (higher sequence number)")
+	if r, err := lot.CommitOnChain(sys.Chain, fresh); err != nil || !r.Status {
+		log.Fatalf("challenge: %v %v", err, r)
+	}
+	frauds := sys.Template.FraudChannels(car.Address())
+	fmt.Printf("fraud recorded against the car on channels %v\n", frauds)
+	fmt.Printf("lot's side-chain log verifies: %v\n\n", lot.Log.Verify() == nil)
+
+	lotBefore := sys.Chain.BalanceOf(lot.Address())
+	carBefore := sys.Chain.BalanceOf(car.Address())
+	if err := sys.RunChallengePeriod(); err != nil {
+		log.Fatal(err)
+	}
+	r, err := lot.SettleOnChain(sys.Chain)
+	if err != nil || !r.Status {
+		log.Fatalf("settle: %v %v", err, r)
+	}
+	lotEarned := int64(sys.Chain.BalanceOf(lot.Address())) - int64(lotBefore)
+	carBack := int64(sys.Chain.BalanceOf(car.Address())) - int64(carBefore)
+
+	fmt.Println("settlement:")
+	fmt.Printf("  lot received  %+d wei (3M owed + 7M insurance - its own gas)\n", lotEarned)
+	fmt.Printf("  car received  %+d wei (deposit forfeited: cheating cost it everything)\n", carBack)
+}

@@ -1,0 +1,139 @@
+// Smart parking: the paper's full application scenario (§III).
+//
+//	go run ./examples/smart-parking
+//
+// A smart car and a parking sensor negotiate over an 802.15.4 TSCH
+// link: they exchange sensor data, the car opens an off-chain payment
+// channel by executing the factory template on its TinyEVM, pays hourly
+// rates derived from the lot's sensors, closes the channel, and the lot
+// settles the doubly-signed final state on the simulated main chain
+// after the challenge period.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tinyevm"
+)
+
+func main() {
+	sys, lot, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "parking-sensor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	car, err := sys.AddNode("smart-car")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sensors: the lot knows occupancy and temperature (pricing inputs),
+	// the car knows its distance to the spot.
+	lot.RegisterSensor(tinyevm.SensorOccupancy, constant(1))
+	lot.RegisterSensor(tinyevm.SensorTemperature, constant(2150))
+	car.RegisterSensor(tinyevm.SensorTemperature, constant(2150))
+	car.RegisterSensor(tinyevm.SensorDistance, constant(35))
+
+	fmt.Println("=== Phase 1: on-chain setup ===")
+	const deposit = 5_000_000
+	if r, err := car.DepositOnChain(sys.Chain, deposit); err != nil || !r.Status {
+		log.Fatalf("deposit failed: %v %v", err, r)
+	}
+	fmt.Printf("car locked %d wei into the on-chain template %s\n\n",
+		deposit, sys.Template.Addr)
+
+	fmt.Println("=== Phase 2: off-chain channel over the TSCH link ===")
+	if _, err := car.SendSensorData(lot.Address(), tinyevm.SensorTemperature, tinyevm.SensorDistance); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lot.ReceiveSensorData(); err != nil {
+		log.Fatal(err)
+	}
+	sd, err := lot.SendSensorData(car.Address(), tinyevm.SensorTemperature, tinyevm.SensorOccupancy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := car.ReceiveSensorData(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor data exchanged (lot occupancy=%d)\n", sd.Readings[1].Value)
+
+	cs, err := car.OpenChannel(lot.Address(), deposit, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lot.AcceptChannel(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("channel #%d open at %s (logical clock = channel id)\n\n", cs.ID, cs.Addr)
+
+	fmt.Println("=== hourly payments (price from sensor context) ===")
+	// Hourly rate: base 800k wei, +25% when the lot is busy.
+	rate := uint64(800_000)
+	if sd.Readings[1].Value == 1 {
+		rate += 200_000
+	}
+	for hour := 1; hour <= 3; hour++ {
+		pay, err := car.Pay(cs.ID, rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := lot.ReceivePayment(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hour %d: paid %4d wei  (seq %d, cumulative %d, signed + registered on side-chain)\n",
+			hour, rate, pay.Seq, pay.Cumulative)
+	}
+
+	fmt.Println("\n=== close: exchange signatures on the final state ===")
+	if _, err := car.CloseChannel(cs.ID); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := lot.AcceptClose(); err != nil {
+		log.Fatal(err)
+	}
+	final, err := car.FinishClose()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final state: seq %d, cumulative %d wei, both signatures valid\n\n",
+		final.Seq, final.Cumulative)
+
+	fmt.Println("=== Phase 3: on-chain commit and settlement ===")
+	lotBefore := sys.Chain.BalanceOf(lot.Address())
+	if r, err := lot.CommitOnChain(sys.Chain, final); err != nil || !r.Status {
+		log.Fatalf("commit failed: %v %v", err, r)
+	}
+	root, _ := sys.Template.Root()
+	fmt.Printf("state committed: Merkle-sum root %s (sum %d wei)\n", root.Hash, root.Sum)
+
+	if r, err := car.ExitOnChain(sys.Chain); err != nil || !r.Status {
+		log.Fatalf("exit failed: %v %v", err, r)
+	}
+	exit, _ := sys.Template.Exit()
+	fmt.Printf("car requested exit; challenge period until block %d\n", exit.Deadline)
+	if err := sys.RunChallengePeriod(); err != nil {
+		log.Fatal(err)
+	}
+	if r, err := lot.SettleOnChain(sys.Chain); err != nil || !r.Status {
+		log.Fatalf("settle failed: %v %v", err, r)
+	}
+	earned := int64(sys.Chain.BalanceOf(lot.Address())) - int64(lotBefore)
+	fmt.Printf("settled: lot earned %+d wei net of its gas; unspent deposit refunded to the car\n\n", earned)
+
+	fmt.Println("=== car-side energy for the session ===")
+	fmt.Print(car.EnergyReport().String())
+	fmt.Println("\nside-chain logs verified:",
+		check(car.Log.Verify()), "(car),", check(lot.Log.Verify()), "(lot)")
+}
+
+func constant(v uint64) tinyevm.SensorFunc {
+	return func(uint64) (uint64, error) { return v, nil }
+}
+
+func check(err error) string {
+	if err != nil {
+		return "BROKEN: " + err.Error()
+	}
+	return "ok"
+}

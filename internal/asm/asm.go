@@ -1,0 +1,311 @@
+// Package asm provides an assembler and disassembler for EVM bytecode.
+// It replaces the Solidity toolchain in this repository: the paper's
+// Listing 1/2 contracts and all test fixtures are assembled from
+// mnemonics into standard EVM bytecode that TinyEVM executes unmodified.
+//
+// The assembler supports:
+//
+//   - every opcode mnemonic known to internal/evm (including SENSOR);
+//   - PUSH with automatic width selection ("PUSH 0x1234" emits PUSH2),
+//     or explicit widths ("PUSH4 0xdeadbeef");
+//   - labels (":loop") with forward references, resolved to fixed-width
+//     PUSH2 so code layout is stable;
+//   - raw data blocks ("DATA 0xdeadbeef") for embedding runtime code;
+//   - comments introduced by ';' or '//'.
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tinyevm/internal/evm"
+)
+
+// Errors returned by the assembler.
+var (
+	ErrUnknownMnemonic = errors.New("asm: unknown mnemonic")
+	ErrBadOperand      = errors.New("asm: bad operand")
+	ErrUnknownLabel    = errors.New("asm: unknown label")
+	ErrDuplicateLabel  = errors.New("asm: duplicate label")
+)
+
+// Assemble translates assembly source into bytecode.
+func Assemble(src string) ([]byte, error) {
+	p := &program{labels: make(map[string]int)}
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.addLine(fields); err != nil {
+			return nil, fmt.Errorf("line %d (%q): %w", ln+1, strings.TrimSpace(line), err)
+		}
+	}
+	return p.link()
+}
+
+// MustAssemble assembles or panics; for package-level fixtures and tests.
+func MustAssemble(src string) []byte {
+	code, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, ";"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+// item is one element of the unlinked program: either literal bytes or a
+// label reference that becomes a PUSH2.
+type item struct {
+	bytes    []byte
+	labelRef string
+}
+
+func (it item) size() int {
+	if it.labelRef != "" {
+		return 3 // PUSH2 + 2 bytes
+	}
+	return len(it.bytes)
+}
+
+type program struct {
+	items  []item
+	labels map[string]int // label -> item index it precedes
+}
+
+func (p *program) addLine(fields []string) error {
+	for len(fields) > 0 && strings.HasPrefix(fields[0], ":") {
+		label := fields[0][1:]
+		if label == "" {
+			return fmt.Errorf("%w: empty label", ErrBadOperand)
+		}
+		if _, dup := p.labels[label]; dup {
+			return fmt.Errorf("%w: %q", ErrDuplicateLabel, label)
+		}
+		p.labels[label] = len(p.items)
+		fields = fields[1:]
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+
+	mnemonic := strings.ToUpper(fields[0])
+	args := fields[1:]
+
+	switch {
+	case mnemonic == "DATA":
+		if len(args) != 1 {
+			return fmt.Errorf("%w: DATA needs one hex operand", ErrBadOperand)
+		}
+		b, err := parseHexBytes(args[0])
+		if err != nil {
+			return err
+		}
+		p.items = append(p.items, item{bytes: b})
+		return nil
+
+	case mnemonic == "PUSH" || strings.HasPrefix(mnemonic, "PUSH"):
+		return p.addPush(mnemonic, args)
+
+	default:
+		op, ok := mnemonicTable[mnemonic]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownMnemonic, mnemonic)
+		}
+		if len(args) != 0 {
+			return fmt.Errorf("%w: %s takes no operand", ErrBadOperand, mnemonic)
+		}
+		p.items = append(p.items, item{bytes: []byte{byte(op)}})
+		return nil
+	}
+}
+
+func (p *program) addPush(mnemonic string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("%w: PUSH needs one operand", ErrBadOperand)
+	}
+	arg := args[0]
+
+	// Label reference: "PUSH :loop" (always PUSH2 for stable layout).
+	if strings.HasPrefix(arg, ":") {
+		if mnemonic != "PUSH" && mnemonic != "PUSH2" {
+			return fmt.Errorf("%w: label operands require PUSH or PUSH2", ErrBadOperand)
+		}
+		p.items = append(p.items, item{labelRef: arg[1:]})
+		return nil
+	}
+
+	value, err := parseValueBytes(arg)
+	if err != nil {
+		return err
+	}
+
+	if mnemonic == "PUSH" {
+		// Auto-size.
+		if len(value) == 0 {
+			value = []byte{0}
+		}
+		if len(value) > 32 {
+			return fmt.Errorf("%w: literal wider than 32 bytes", ErrBadOperand)
+		}
+		op := byte(evm.OpPush1) + byte(len(value)-1)
+		p.items = append(p.items, item{bytes: append([]byte{op}, value...)})
+		return nil
+	}
+
+	// Explicit PUSHn.
+	n, err := strconv.Atoi(mnemonic[4:])
+	if err != nil || n < 1 || n > 32 {
+		return fmt.Errorf("%w: %q", ErrUnknownMnemonic, mnemonic)
+	}
+	if len(value) > n {
+		return fmt.Errorf("%w: literal wider than PUSH%d", ErrBadOperand, n)
+	}
+	padded := make([]byte, n)
+	copy(padded[n-len(value):], value)
+	op := byte(evm.OpPush1) + byte(n-1)
+	p.items = append(p.items, item{bytes: append([]byte{op}, padded...)})
+	return nil
+}
+
+// link resolves label references and concatenates the program.
+func (p *program) link() ([]byte, error) {
+	// Compute item offsets.
+	offsets := make([]int, len(p.items)+1)
+	for i, it := range p.items {
+		offsets[i+1] = offsets[i] + it.size()
+	}
+	labelPos := make(map[string]int, len(p.labels))
+	for name, idx := range p.labels {
+		labelPos[name] = offsets[idx]
+	}
+
+	out := make([]byte, 0, offsets[len(p.items)])
+	for _, it := range p.items {
+		if it.labelRef == "" {
+			out = append(out, it.bytes...)
+			continue
+		}
+		pos, ok := labelPos[it.labelRef]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownLabel, it.labelRef)
+		}
+		if pos > 0xffff {
+			return nil, fmt.Errorf("%w: label %q offset %d exceeds PUSH2", ErrBadOperand, it.labelRef, pos)
+		}
+		push2 := byte(evm.OpPush1) + 1
+		out = append(out, push2, byte(pos>>8), byte(pos))
+	}
+	return out, nil
+}
+
+// parseValueBytes parses a hex (0x...) or decimal literal into minimal
+// big-endian bytes.
+func parseValueBytes(s string) ([]byte, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return parseHexBytes(s)
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrBadOperand, s)
+	}
+	if v == 0 {
+		return []byte{0}, nil
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte(v)}, buf...)
+		v >>= 8
+	}
+	return buf, nil
+}
+
+func parseHexBytes(s string) ([]byte, error) {
+	h := strings.TrimPrefix(strings.TrimPrefix(s, "0x"), "0X")
+	if len(h)%2 == 1 {
+		h = "0" + h
+	}
+	if h == "" {
+		return nil, fmt.Errorf("%w: empty hex", ErrBadOperand)
+	}
+	out := make([]byte, len(h)/2)
+	for i := 0; i < len(out); i++ {
+		hi, ok1 := hexDigit(h[2*i])
+		lo, ok2 := hexDigit(h[2*i+1])
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("%w: bad hex %q", ErrBadOperand, s)
+		}
+		out[i] = hi<<4 | lo
+	}
+	return out, nil
+}
+
+func hexDigit(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	default:
+		return 0, false
+	}
+}
+
+// mnemonicTable maps mnemonics to opcodes, built by introspecting the
+// evm package so the two can never drift.
+var mnemonicTable = buildMnemonics()
+
+func buildMnemonics() map[string]evm.Opcode {
+	t := make(map[string]evm.Opcode, 160)
+	for b := 0; b < 256; b++ {
+		op := evm.Opcode(b)
+		if op.Defined() {
+			t[op.String()] = op
+		}
+	}
+	// Friendly aliases.
+	t["SHA3"] = evm.OpKeccak256
+	return t
+}
+
+// Disassemble renders bytecode as one instruction per line, with PUSH
+// immediates inline. Truncated PUSH immediates at the end of code are
+// rendered with a marker, matching execution semantics (zero padding).
+func Disassemble(code []byte) string {
+	var b strings.Builder
+	for pc := 0; pc < len(code); {
+		op := evm.Opcode(code[pc])
+		fmt.Fprintf(&b, "%04x: %s", pc, op.String())
+		n := op.PushBytes()
+		if n > 0 {
+			end := pc + 1 + n
+			trunc := false
+			if end > len(code) {
+				end = len(code)
+				trunc = true
+			}
+			fmt.Fprintf(&b, " 0x%x", code[pc+1:end])
+			if trunc {
+				b.WriteString(" (truncated)")
+			}
+		}
+		b.WriteByte('\n')
+		pc += 1 + n
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package asm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"tinyevm/internal/evm"
+)
+
+func TestAssembleSimple(t *testing.T) {
+	code, err := Assemble(`
+		PUSH1 0x02
+		PUSH1 0x03
+		ADD
+		STOP
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x60, 0x02, 0x60, 0x03, 0x01, 0x00}
+	if !bytes.Equal(code, want) {
+		t.Fatalf("got %x, want %x", code, want)
+	}
+}
+
+func TestAutoSizedPush(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []byte
+	}{
+		{"PUSH 0", []byte{0x60, 0x00}},
+		{"PUSH 1", []byte{0x60, 0x01}},
+		{"PUSH 255", []byte{0x60, 0xff}},
+		{"PUSH 256", []byte{0x61, 0x01, 0x00}},
+		{"PUSH 0x1234", []byte{0x61, 0x12, 0x34}},
+		{"PUSH 0xdeadbeef", []byte{0x63, 0xde, 0xad, 0xbe, 0xef}},
+	}
+	for _, tc := range tests {
+		code, err := Assemble(tc.src)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if !bytes.Equal(code, tc.want) {
+			t.Fatalf("%q: got %x, want %x", tc.src, code, tc.want)
+		}
+	}
+}
+
+func TestExplicitPushPads(t *testing.T) {
+	code, err := Assemble("PUSH4 0x01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x63, 0x00, 0x00, 0x00, 0x01}
+	if !bytes.Equal(code, want) {
+		t.Fatalf("got %x, want %x", code, want)
+	}
+	if _, err := Assemble("PUSH1 0x0102"); err == nil {
+		t.Fatal("over-wide literal accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	code, err := Assemble(`
+		PUSH :end
+		JUMP
+		PUSH1 0xff   ; skipped
+		:end JUMPDEST
+		STOP
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: PUSH2 hi lo | JUMP | PUSH1 ff | JUMPDEST | STOP
+	//         0     1  2    3      4     5    6          7
+	want := []byte{0x61, 0x00, 0x06, 0x56, 0x60, 0xff, 0x5b, 0x00}
+	if !bytes.Equal(code, want) {
+		t.Fatalf("got %x, want %x", code, want)
+	}
+}
+
+func TestForwardAndBackwardLabels(t *testing.T) {
+	code, err := Assemble(`
+		:top JUMPDEST
+		PUSH :bottom
+		JUMP
+		:bottom JUMPDEST
+		PUSH :top
+		JUMP
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// :top at 0, :bottom at 5 (JUMPDEST PUSH2xx xx JUMP = 1+3+1).
+	if code[0] != 0x5b || code[5] != 0x5b {
+		t.Fatalf("unexpected layout: %x", code)
+	}
+	if code[1] != 0x61 || code[2] != 0x00 || code[3] != 0x05 {
+		t.Fatalf("forward ref wrong: %x", code)
+	}
+	if code[6] != 0x61 || code[7] != 0x00 || code[8] != 0x00 {
+		t.Fatalf("backward ref wrong: %x", code)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{"BOGUS", ErrUnknownMnemonic},
+		{"PUSH", ErrBadOperand},
+		{"PUSH :missing\nJUMP", ErrUnknownLabel},
+		{":dup JUMPDEST\n:dup JUMPDEST", ErrDuplicateLabel},
+		{"ADD 5", ErrBadOperand},
+		{"DATA zz", ErrBadOperand},
+		{"PUSH 0x" + strings.Repeat("ab", 33), ErrBadOperand},
+	}
+	for _, tc := range cases {
+		if _, err := Assemble(tc.src); !errors.Is(err, tc.want) {
+			t.Fatalf("%q: got %v, want %v", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestData(t *testing.T) {
+	code, err := Assemble(`
+		STOP
+		DATA 0xdeadbeef
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x00, 0xde, 0xad, 0xbe, 0xef}
+	if !bytes.Equal(code, want) {
+		t.Fatalf("got %x, want %x", code, want)
+	}
+}
+
+func TestSensorMnemonic(t *testing.T) {
+	code, err := Assemble(`
+		PUSH1 0
+		PUSH1 1
+		SENSOR
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[len(code)-1] != byte(evm.OpSensor) {
+		t.Fatalf("SENSOR not assembled: %x", code)
+	}
+}
+
+func TestSha3Alias(t *testing.T) {
+	a := MustAssemble("SHA3")
+	b := MustAssemble("KECCAK256")
+	if !bytes.Equal(a, b) {
+		t.Fatal("SHA3 alias mismatch")
+	}
+}
+
+func TestCommentsBothStyles(t *testing.T) {
+	code, err := Assemble(`
+		PUSH1 1 ; semicolon comment
+		PUSH1 2 // slash comment
+		ADD
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x60, 0x01, 0x60, 0x02, 0x01}
+	if !bytes.Equal(code, want) {
+		t.Fatalf("got %x, want %x", code, want)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		PUSH1 0x2a
+		PUSH1 0x00
+		MSTORE
+		PUSH1 0x20
+		PUSH1 0x00
+		RETURN
+	`
+	code := MustAssemble(src)
+	dis := Disassemble(code)
+	for _, wantLine := range []string{"PUSH1 0x2a", "MSTORE", "RETURN"} {
+		if !strings.Contains(dis, wantLine) {
+			t.Fatalf("disassembly missing %q:\n%s", wantLine, dis)
+		}
+	}
+	// Reassembling the disassembly (minus offsets) must reproduce code.
+	var rebuilt strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(dis), "\n") {
+		parts := strings.SplitN(line, ": ", 2)
+		rebuilt.WriteString(parts[1] + "\n")
+	}
+	code2, err := Assemble(rebuilt.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(code, code2) {
+		t.Fatalf("round trip mismatch:\n%x\n%x", code, code2)
+	}
+}
+
+func TestDisassembleTruncatedPush(t *testing.T) {
+	dis := Disassemble([]byte{0x63, 0x01, 0x02}) // PUSH4 with 2 bytes
+	if !strings.Contains(dis, "truncated") {
+		t.Fatalf("truncation not flagged:\n%s", dis)
+	}
+}
+
+func TestAllMnemonicsRoundTrip(t *testing.T) {
+	// Every defined opcode's String() must assemble back to itself.
+	for b := 0; b < 256; b++ {
+		op := evm.Opcode(b)
+		if !op.Defined() || op.IsPush() {
+			continue
+		}
+		src := op.String()
+		code, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(code) != 1 || code[0] != byte(op) {
+			t.Fatalf("%s assembled to %x", src, code)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package contracts
+
+import (
+	"bytes"
+	"testing"
+
+	"tinyevm/internal/device"
+	"tinyevm/internal/evm"
+	"tinyevm/internal/secp256k1"
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+func TestSelectorKnownValue(t *testing.T) {
+	// transfer(address,uint256) has the famous selector a9059cbb.
+	sel := Selector("transfer(address,uint256)")
+	want := [4]byte{0xa9, 0x05, 0x9c, 0xbb}
+	if sel != want {
+		t.Fatalf("selector %x, want %x", sel, want)
+	}
+}
+
+func TestRuntimesAssemble(t *testing.T) {
+	ch := PaymentChannelRuntime()
+	if len(ch) == 0 || len(ch) > evm.TinyCodeLimit {
+		t.Fatalf("channel runtime %d bytes", len(ch))
+	}
+	tp := TemplateRuntime()
+	if len(tp) == 0 || len(tp) > evm.TinyCodeLimit {
+		t.Fatalf("template runtime %d bytes", len(tp))
+	}
+	// The template embeds the full channel init code.
+	if len(tp) <= len(ch) {
+		t.Fatal("template does not embed the channel")
+	}
+}
+
+// deployChannel deploys a payment channel directly on a device.
+func deployChannel(t *testing.T, d *device.Device, sender, receiver types.Address, funds uint64) types.Address {
+	t.Helper()
+	init := PaymentChannelInitCode(sender, receiver, device.SensorTemperature, 0)
+	res := d.Deploy(init, funds)
+	if res.Err != nil {
+		t.Fatalf("channel deploy failed: %v", res.Err)
+	}
+	return res.Address
+}
+
+func TestChannelConstructorStoresPartiesAndSensor(t *testing.T) {
+	d := device.New("lot-1")
+	d.Sensors.RegisterValue(device.SensorTemperature, 2172) // 21.72 C
+
+	car := secp256k1.DeterministicKey("car-1").PublicKey.Address()
+	lot := d.Address()
+	ch := deployChannel(t, d, car, lot, 5000)
+
+	if got := d.State.GetState(ch, uint256.NewInt(ChannelSlotSender)); types.BytesToAddress(bs(got)[12:]) != car {
+		t.Fatal("sender slot wrong")
+	}
+	if got := d.State.GetState(ch, uint256.NewInt(ChannelSlotReceiver)); types.BytesToAddress(bs(got)[12:]) != lot {
+		t.Fatal("receiver slot wrong")
+	}
+	if got := d.State.GetState(ch, uint256.NewInt(ChannelSlotSensor)); got.Uint64() != 2172 {
+		t.Fatalf("sensor slot = %s, want 2172", got.Dec())
+	}
+	if got := d.State.Balance(ch); got.Uint64() != 5000 {
+		t.Fatalf("channel balance %s", got.Dec())
+	}
+}
+
+func bs(w uint256.Int) []byte {
+	b := w.Bytes32()
+	return b[:]
+}
+
+func TestChannelViews(t *testing.T) {
+	d := device.New("lot-2")
+	d.Sensors.RegisterValue(device.SensorTemperature, 999)
+	car := secp256k1.DeterministicKey("car-2").PublicKey.Address()
+	ch := deployChannel(t, d, car, d.Address(), 0)
+
+	res := d.Call(ch, Calldata(SigSensorData), 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var w uint256.Int
+	w.SetBytes(res.ReturnData)
+	if w.Uint64() != 999 {
+		t.Fatalf("sensorData() = %s", w.Dec())
+	}
+
+	res = d.Call(ch, Calldata(SigSender), 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if WordToAddress(res.ReturnData) != car {
+		t.Fatal("sender() wrong")
+	}
+
+	res = d.Call(ch, Calldata(SigReceiver), 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if WordToAddress(res.ReturnData) != d.Address() {
+		t.Fatal("receiver() wrong")
+	}
+}
+
+func TestChannelUnknownSelectorReverts(t *testing.T) {
+	d := device.New("lot-3")
+	d.Sensors.RegisterValue(device.SensorTemperature, 1)
+	car := secp256k1.DeterministicKey("car-3").PublicKey.Address()
+	ch := deployChannel(t, d, car, d.Address(), 0)
+	res := d.Call(ch, Calldata("bogus()"), 0)
+	if res.Err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
+func TestChannelCloseHappyPath(t *testing.T) {
+	// The receiver (the device) closes the channel with the sender's
+	// signature over (channel, amount): amount goes to the receiver,
+	// the rest refunds to the sender via SELFDESTRUCT.
+	d := device.New("parking-lot")
+	d.Sensors.RegisterValue(device.SensorTemperature, 2000)
+
+	carKey := secp256k1.DeterministicKey("smart-car")
+	car := carKey.PublicKey.Address()
+	d.State.AddBalance(car, uint256.NewInt(0)) // account exists
+
+	const deposit = 10_000
+	const amount = 3_500
+	ch := deployChannel(t, d, car, d.Address(), deposit)
+
+	digest := PaymentDigest(ch, amount)
+	sig, err := carKey.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lotBefore := d.State.Balance(d.Address()).Uint64()
+	carBefore := d.State.Balance(car).Uint64()
+
+	res := d.Call(ch, CloseCalldata(amount, sig), 0)
+	if res.Err != nil {
+		t.Fatalf("close failed: %v", res.Err)
+	}
+
+	lotAfter := d.State.Balance(d.Address()).Uint64()
+	carAfter := d.State.Balance(car).Uint64()
+	if lotAfter-lotBefore != amount {
+		t.Fatalf("receiver got %d, want %d", lotAfter-lotBefore, amount)
+	}
+	if carAfter-carBefore != deposit-amount {
+		t.Fatalf("sender refunded %d, want %d", carAfter-carBefore, deposit-amount)
+	}
+	if len(d.State.Code(ch)) != 0 {
+		t.Fatal("channel survived close")
+	}
+}
+
+func TestChannelCloseRejectsForgedSignature(t *testing.T) {
+	d := device.New("lot-4")
+	d.Sensors.RegisterValue(device.SensorTemperature, 1)
+	carKey := secp256k1.DeterministicKey("honest-car")
+	mallory := secp256k1.DeterministicKey("mallory")
+	ch := deployChannel(t, d, carKey.PublicKey.Address(), d.Address(), 1000)
+
+	digest := PaymentDigest(ch, 999)
+	sig, err := mallory.Sign(digest) // wrong signer
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Call(ch, CloseCalldata(999, sig), 0)
+	if res.Err == nil {
+		t.Fatal("forged signature accepted by close()")
+	}
+	if len(d.State.Code(ch)) == 0 {
+		t.Fatal("channel destroyed on failed close")
+	}
+}
+
+func TestChannelCloseRejectsWrongAmount(t *testing.T) {
+	d := device.New("lot-5")
+	d.Sensors.RegisterValue(device.SensorTemperature, 1)
+	carKey := secp256k1.DeterministicKey("car-5")
+	ch := deployChannel(t, d, carKey.PublicKey.Address(), d.Address(), 1000)
+
+	digest := PaymentDigest(ch, 100)
+	sig, err := carKey.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver tries to claim more than was signed.
+	res := d.Call(ch, CloseCalldata(500, sig), 0)
+	if res.Err == nil {
+		t.Fatal("inflated amount accepted by close()")
+	}
+}
+
+func TestChannelCloseOnlyReceiver(t *testing.T) {
+	// A third device (not the receiver) must not be able to close.
+	d := device.New("lot-6")
+	d.Sensors.RegisterValue(device.SensorTemperature, 1)
+	carKey := secp256k1.DeterministicKey("car-6")
+	other := types.MustHexToAddress("0x00000000000000000000000000000000000000a7")
+	// Channel receiver is `other`, but the device (caller) is not it.
+	ch := deployChannel(t, d, carKey.PublicKey.Address(), other, 1000)
+
+	digest := PaymentDigest(ch, 10)
+	sig, _ := carKey.Sign(digest)
+	res := d.Call(ch, CloseCalldata(10, sig), 0)
+	if res.Err == nil {
+		t.Fatal("non-receiver closed the channel")
+	}
+}
+
+func TestTemplateCreatesChannels(t *testing.T) {
+	// Deploy the factory on a device and create channels through it,
+	// checking the logical clock: "The nodes use the template to deploy
+	// a new off-chain payment channel using a unique monotonic counter
+	// (logical clock) as an identifier."
+	d := device.New("lot-7")
+	d.Sensors.RegisterValue(device.SensorTemperature, 2222)
+	provider := d.Address()
+
+	res := d.Deploy(TemplateInitCode(provider), 0)
+	if res.Err != nil {
+		t.Fatalf("template deploy failed: %v", res.Err)
+	}
+	tpl := res.Address
+
+	for i := uint64(1); i <= 3; i++ {
+		cr := d.Call(tpl, CreateChannelCalldata(0), 2_000)
+		if cr.Err != nil {
+			t.Fatalf("createPaymentChannel #%d failed: %v", i, cr.Err)
+		}
+		ch := WordToAddress(cr.ReturnData)
+		if ch.IsZero() {
+			t.Fatal("zero channel address")
+		}
+		// Logical clock advanced.
+		clk := d.Call(tpl, Calldata(SigLogicalClock), 0)
+		if clk.Err != nil {
+			t.Fatal(clk.Err)
+		}
+		var w uint256.Int
+		w.SetBytes(clk.ReturnData)
+		if w.Uint64() != i {
+			t.Fatalf("logical clock = %s, want %d", w.Dec(), i)
+		}
+		// Channel funded with the forwarded value.
+		if got := d.State.Balance(ch); got.Uint64() != 2_000 {
+			t.Fatalf("channel balance %s", got.Dec())
+		}
+		// Channel registered in the ring.
+		at := d.Call(tpl, ChannelAtCalldata(i), 0)
+		if at.Err != nil {
+			t.Fatal(at.Err)
+		}
+		if WordToAddress(at.ReturnData) != ch {
+			t.Fatal("channelAt() mismatch")
+		}
+		// The channel's constructor ran with the device's sensor.
+		sd := d.Call(ch, Calldata(SigSensorData), 0)
+		if sd.Err != nil {
+			t.Fatal(sd.Err)
+		}
+		w.SetBytes(sd.ReturnData)
+		if w.Uint64() != 2222 {
+			t.Fatalf("channel sensor data %s", w.Dec())
+		}
+	}
+}
+
+func TestTemplateReceiverView(t *testing.T) {
+	d := device.New("lot-8")
+	provider := types.MustHexToAddress("0x0000000000000000000000000000000000000099")
+	res := d.Deploy(TemplateInitCode(provider), 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	out := d.Call(res.Address, Calldata(SigTemplateReceiver), 0)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if WordToAddress(out.ReturnData) != provider {
+		t.Fatal("receiver() wrong")
+	}
+}
+
+func TestEndToEndChannelThroughTemplate(t *testing.T) {
+	// Full device-side flow: factory -> channel -> signed payment ->
+	// close, all in TinyEVM bytecode.
+	d := device.New("lot-9")
+	d.Sensors.RegisterValue(device.SensorTemperature, 1800)
+	carKey := d.Key() // the device itself opens the channel here
+
+	res := d.Deploy(TemplateInitCode(d.Address()), 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	cr := d.Call(res.Address, CreateChannelCalldata(7), 5_000)
+	if cr.Err != nil {
+		t.Fatal(cr.Err)
+	}
+	ch := WordToAddress(cr.ReturnData)
+
+	digest := PaymentDigest(ch, 1_250)
+	sig, err := carKey.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close := d.Call(ch, CloseCalldata(1_250, sig), 0)
+	if close.Err != nil {
+		t.Fatalf("close failed: %v", close.Err)
+	}
+	if len(d.State.Code(ch)) != 0 {
+		t.Fatal("channel not destroyed")
+	}
+}
+
+func TestCalldataPadding(t *testing.T) {
+	cd := Calldata("f(uint8)", []byte{0x7})
+	if len(cd) != 36 {
+		t.Fatalf("calldata %d bytes", len(cd))
+	}
+	if cd[35] != 0x07 {
+		t.Fatal("short word not right-aligned")
+	}
+	for i := 4; i < 35; i++ {
+		if cd[i] != 0 {
+			t.Fatal("padding not zero")
+		}
+	}
+}
+
+func TestWrapDeployTwoPassStable(t *testing.T) {
+	runtime := []byte{0x60, 0x01, 0x60, 0x02, 0x01, 0x00}
+	a := WrapDeploy("", runtime, nil)
+	b := WrapDeploy("", runtime, []byte{1, 2, 3})
+	// Args must not shift the runtime offset.
+	if !bytes.Equal(a, b[:len(a)]) {
+		t.Fatal("args changed the constructor")
+	}
+	if !bytes.Equal(b[len(b)-3:], []byte{1, 2, 3}) {
+		t.Fatal("args not appended")
+	}
+}
+
+func TestPaymentDigestBindsChannelAndAmount(t *testing.T) {
+	a := types.MustHexToAddress("0x1111111111111111111111111111111111111111")
+	b := types.MustHexToAddress("0x2222222222222222222222222222222222222222")
+	if PaymentDigest(a, 5) == PaymentDigest(b, 5) {
+		t.Fatal("digest ignores channel")
+	}
+	if PaymentDigest(a, 5) == PaymentDigest(a, 6) {
+		t.Fatal("digest ignores amount")
+	}
+}

@@ -1,0 +1,192 @@
+// Package core assembles the TinyEVM system — the paper's primary
+// contribution — from its substrates: a complete node runtime (device
+// model + customized EVM + sensor bus + crypto engine + radio endpoint +
+// off-chain protocol state) and the System wiring of nodes, TSCH network
+// and simulated main chain.
+//
+// The public module-root package tinyevm re-exports this API; examples
+// and benchmarks build on it.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/contracts"
+	"tinyevm/internal/device"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/radio"
+	"tinyevm/internal/types"
+)
+
+// Node is one complete TinyEVM node: an OpenMote-B-class device running
+// the customized EVM with its local template copy, joined to a TSCH
+// network and able to settle on the main chain.
+type Node struct {
+	// Party carries the protocol state (channels, side-chain log).
+	*protocol.Party
+	// name identifies the node.
+	name string
+}
+
+// Name returns the node's human-readable name.
+func (n *Node) Name() string { return n.name }
+
+// Device returns the underlying device model for measurement access.
+func (n *Node) Device() *device.Device { return n.Dev }
+
+// DeployContract deploys arbitrary EVM init code on the node's TinyEVM —
+// the operation behind the paper's 7,000-contract experiment.
+func (n *Node) DeployContract(initCode []byte) device.DeployResult {
+	return n.Dev.Deploy(initCode, 0)
+}
+
+// CallContract executes a deployed contract on the node's TinyEVM.
+func (n *Node) CallContract(addr types.Address, input []byte, value uint64) device.CallResult {
+	return n.Dev.Call(addr, input, value)
+}
+
+// RegisterSensor installs a sensor/actuator handler on the node's bus,
+// reachable from contract code through the IoT opcode 0x0C.
+func (n *Node) RegisterSensor(id uint64, fn device.SensorFunc) {
+	n.Dev.Sensors.Register(id, fn)
+}
+
+// EnergyReport returns the node's Table IV style energy report since the
+// last measurement reset.
+func (n *Node) EnergyReport() device.EnergyReport {
+	return n.Dev.EnergyReport()
+}
+
+// ResetMeasurement starts a fresh measurement window.
+func (n *Node) ResetMeasurement() { n.Dev.ResetMeasurement() }
+
+// System is a full TinyEVM deployment: a simulated main chain hosting the
+// on-chain template, a TSCH network, and the participating nodes.
+type System struct {
+	// Chain is the simulated main chain (phase 1 and 3 of the paper's
+	// transaction lifecycle).
+	Chain *chain.Chain
+	// Template is the on-chain template contract.
+	Template *protocol.Template
+	// Network is the TSCH broadcast domain.
+	Network *radio.Network
+
+	provider types.Address
+	nodes    map[string]*Node
+}
+
+// Config parametrizes a System.
+type Config struct {
+	// RadioSeed fixes the radio loss process.
+	RadioSeed int64
+	// RadioLossRate injects per-frame loss (0 disables).
+	RadioLossRate float64
+	// ChallengePeriod is the template's challenge window in blocks.
+	ChallengePeriod uint64
+	// ProviderFunds and NodeFunds are the initial chain balances.
+	ProviderFunds uint64
+	NodeFunds     uint64
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		RadioSeed:       1,
+		ChallengePeriod: 10,
+		ProviderFunds:   100_000_000,
+		NodeFunds:       100_000_000,
+	}
+}
+
+// NewSystem creates a chain + network + template system. providerName
+// names the node that operates the service (the payment receiver); it is
+// created immediately and owns the on-chain template.
+func NewSystem(cfg Config, providerName string) (*System, *Node, error) {
+	radioCfg := radio.DefaultConfig()
+	radioCfg.LossRate = cfg.RadioLossRate
+
+	s := &System{
+		Chain:   chain.New(),
+		Network: radio.NewNetwork(radioCfg, cfg.RadioSeed),
+		nodes:   make(map[string]*Node),
+	}
+
+	providerDev := device.New(providerName)
+	s.provider = providerDev.Address()
+	s.Template = protocol.InstallTemplate(s.Chain, s.provider, cfg.ChallengePeriod)
+	s.Chain.Fund(s.provider, cfg.ProviderFunds)
+
+	provider, err := s.join(providerDev, cfg.ProviderFunds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, provider, nil
+}
+
+// AddNode creates and joins a new node with default funding.
+func (s *System) AddNode(name string) (*Node, error) {
+	if _, exists := s.nodes[name]; exists {
+		return nil, fmt.Errorf("core: node %q already exists", name)
+	}
+	dev := device.New(name)
+	s.Chain.Fund(dev.Address(), DefaultConfig().NodeFunds)
+	return s.join(dev, 0)
+}
+
+func (s *System) join(dev *device.Device, _ uint64) (*Node, error) {
+	ep := s.Network.Join(dev)
+	party, err := protocol.NewParty(dev, ep, s.Template.Addr, s.provider)
+	if err != nil {
+		return nil, fmt.Errorf("core: joining %s: %w", dev.Name, err)
+	}
+	n := &Node{Party: party, name: dev.Name}
+	s.nodes[dev.Name] = n
+	return n, nil
+}
+
+// Node returns a joined node by name.
+func (s *System) Node(name string) (*Node, bool) {
+	n, ok := s.nodes[name]
+	return n, ok
+}
+
+// Provider returns the service-provider address.
+func (s *System) Provider() types.Address { return s.provider }
+
+// MineUntil advances the chain past the given block number.
+func (s *System) MineUntil(block uint64) {
+	for s.Chain.Head().Number <= block {
+		s.Chain.MineBlock()
+	}
+}
+
+// RunChallengePeriod advances the chain past the active exit deadline.
+func (s *System) RunChallengePeriod() error {
+	exit, ok := s.Template.Exit()
+	if !ok {
+		return protocol.ErrNoExit
+	}
+	s.MineUntil(exit.Deadline)
+	return nil
+}
+
+// PaymentChannelInitCode re-exports the paper's Listing 2 contract for
+// direct deployment experiments.
+func PaymentChannelInitCode(sender, receiver types.Address, sensorID, sensorParam uint64) []byte {
+	return contracts.PaymentChannelInitCode(sender, receiver, sensorID, sensorParam)
+}
+
+// TemplateInitCode re-exports the paper's Listing 1 factory contract.
+func TemplateInitCode(receiver types.Address) []byte {
+	return contracts.TemplateInitCode(receiver)
+}
+
+// Latency measures the wall-clock cost of fn on the node's virtual
+// clock.
+func Latency(n *Node, fn func() error) (time.Duration, error) {
+	start := n.Dev.Now()
+	err := fn()
+	return n.Dev.Now() - start, err
+}

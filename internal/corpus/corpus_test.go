@@ -1,0 +1,183 @@
+package corpus
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tinyevm/internal/evm"
+	"tinyevm/internal/stats"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams(50)
+	a := Generate(p)
+	b := Generate(p)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].InitCode, b[i].InitCode) {
+			t.Fatalf("contract %d differs between runs", i)
+		}
+	}
+	p2 := p
+	p2.Seed = 43
+	c := Generate(p2)
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i].InitCode, c[i].InitCode) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical corpus")
+	}
+}
+
+func TestSizeBounds(t *testing.T) {
+	p := DefaultParams(400)
+	for _, c := range Generate(p) {
+		if len(c.InitCode) < p.MinSize/2 {
+			// The constructor floor may exceed tiny size draws slightly,
+			// but nothing should be degenerate.
+			t.Fatalf("contract %d only %d bytes", c.Index, len(c.InitCode))
+		}
+		if len(c.InitCode) > p.MaxSize+512 {
+			t.Fatalf("contract %d is %d bytes", c.Index, len(c.InitCode))
+		}
+	}
+}
+
+func TestEveryContractIsValidBytecode(t *testing.T) {
+	// Every generated constructor must either deploy or fail with a
+	// resource error — never with an invalid-opcode or bad-jump error,
+	// which would mean the generator emitted garbage.
+	contractsList := Generate(DefaultParams(200))
+	results := DeployAll(contractsList, nil)
+	for _, r := range results {
+		err := r.Deploy.Err
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, evm.ErrMemoryLimit) ||
+			errors.Is(err, evm.ErrStorageFull) ||
+			errors.Is(err, evm.ErrCodeSizeLimit) ||
+			errors.Is(err, evm.ErrStackOverflow) ||
+			errors.Is(err, evm.ErrStepLimit) {
+			continue
+		}
+		t.Fatalf("contract %d failed with non-resource error: %v", r.Contract.Index, err)
+	}
+}
+
+func TestDeployedRuntimeMatchesGenerated(t *testing.T) {
+	contractsList := Generate(DefaultParams(60))
+	results := DeployAll(contractsList, nil)
+	for _, r := range results {
+		if r.Deploy.Err != nil {
+			continue
+		}
+		if r.Deploy.RuntimeSize != r.Contract.RuntimeSize {
+			t.Fatalf("contract %d deployed %d bytes, generated %d",
+				r.Contract.Index, r.Deploy.RuntimeSize, r.Contract.RuntimeSize)
+		}
+	}
+}
+
+// TestCalibration checks the corpus reproduces the paper's published
+// marginals (Table II, Figures 3-4) on a medium sample. Tolerances are
+// generous — the full-population numbers are produced and recorded by
+// cmd/benchtables.
+func TestCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs a medium sample")
+	}
+	n := 600
+	results := DeployAll(Generate(DefaultParams(n)), nil)
+
+	var sizes, times, memPeaks, stackTops []float64
+	success := 0
+	for _, r := range results {
+		sizes = append(sizes, float64(r.Deploy.BytecodeSize))
+		if r.Deploy.Err == nil {
+			success++
+			times = append(times, float64(r.Deploy.Time.Milliseconds()))
+			memPeaks = append(memPeaks, float64(r.Deploy.MemoryUsage))
+			stackTops = append(stackTops, float64(r.Deploy.MaxStackPointer))
+		}
+	}
+
+	rate := float64(success) / float64(n)
+	if rate < 0.88 || rate > 0.97 {
+		t.Errorf("success rate %.3f, paper reports 0.93", rate)
+	}
+
+	size := stats.Summarize(sizes)
+	if size.Mean < 3000 || size.Mean > 5500 {
+		t.Errorf("mean size %.0f B, paper reports ~4023", size.Mean)
+	}
+	if size.Max < 15_000 {
+		t.Errorf("max size %.0f B, paper reports ~25 KB", size.Max)
+	}
+
+	tm := stats.Summarize(times)
+	if tm.Mean < 120 || tm.Mean > 350 {
+		t.Errorf("mean deploy time %.0f ms, paper reports 215", tm.Mean)
+	}
+	if tm.Max < 1000 {
+		t.Errorf("max deploy time %.0f ms, paper reports seconds-scale outliers", tm.Max)
+	}
+	if tm.Min > 20 {
+		t.Errorf("min deploy time %.0f ms, paper reports ~5", tm.Min)
+	}
+
+	// Deployment time must NOT correlate with contract size (Figure 4:
+	// "there is no correlation between the size of the bytecode and the
+	// deployment time").
+	var deployedSizes []float64
+	for _, r := range results {
+		if r.Deploy.Err == nil {
+			deployedSizes = append(deployedSizes, float64(r.Deploy.BytecodeSize))
+		}
+	}
+	if corr := stats.Correlation(deployedSizes, times); corr > 0.35 {
+		t.Errorf("size/time correlation %.2f — should be near zero", corr)
+	}
+
+	// Memory usage is bounded by contract size (Figure 3b: "The memory
+	// required for the deployment is never longer than the size of the
+	// contract").
+	for _, r := range results {
+		if r.Deploy.Err == nil && r.Deploy.MemoryUsage > uint64(r.Deploy.BytecodeSize)+64 {
+			t.Fatalf("contract %d used %d B memory for %d B of code",
+				r.Contract.Index, r.Deploy.MemoryUsage, r.Deploy.BytecodeSize)
+		}
+	}
+	mem := stats.Summarize(memPeaks)
+	if mem.Max > evm.TinyMemoryBytes {
+		t.Errorf("deployed contract exceeded the 8 KB memory cap: %.0f", mem.Max)
+	}
+
+	// Stack pointer distribution (Figure 3c / Table II: mean 8, max 41,
+	// min 3; "the majority of the smart contracts use a maximum of ten
+	// elements").
+	sp := stats.Summarize(stackTops)
+	if sp.Mean < 5 || sp.Mean > 14 {
+		t.Errorf("mean max-SP %.1f, paper reports 8", sp.Mean)
+	}
+	if sp.Max > 60 {
+		t.Errorf("max SP %.0f, paper reports 41", sp.Max)
+	}
+	if sp.Min < 2 {
+		t.Errorf("min SP %.0f, paper reports 3", sp.Min)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	calls := 0
+	DeployAll(Generate(DefaultParams(5)), func(done int) { calls = done })
+	if calls != 5 {
+		t.Fatalf("progress reported %d", calls)
+	}
+}

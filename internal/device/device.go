@@ -1,0 +1,314 @@
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"tinyevm/internal/evm"
+	"tinyevm/internal/secp256k1"
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+// Memory budget of the node image, reproducing Table III of the paper
+// ("Memory Footprint of the TinyEVM (max sizes) on CC2538").
+const (
+	// TotalRAM is the CC2538 SRAM (32 KB).
+	TotalRAM = 32 * 1024
+	// TotalROM is the CC2538 flash (512 KB).
+	TotalROM = 512 * 1024
+	// ContikiRAM/ROM is the OS plus network stack footprint.
+	ContikiRAM = 10_394
+	ContikiROM = 40_527
+	// TinyEVMRAM/ROM is the virtual machine footprint (stack segment,
+	// RAM segment, storage segment and interpreter state).
+	TinyEVMRAM = 13_286
+	TinyEVMROM = 1_937
+	// TemplateRAM is the deployed smart-contract template bytecode.
+	TemplateRAM = 2_035
+)
+
+// MemoryFootprint is the Table III breakdown.
+type MemoryFootprint struct {
+	ContikiRAM, ContikiROM     int
+	TinyEVMRAM, TinyEVMROM     int
+	TemplateRAM                int
+	TotalRAM, TotalROM         int
+	UsedRAM, UsedROM           int
+	AvailableRAM, AvailableROM int
+}
+
+// Footprint returns the static memory budget of the node image.
+func Footprint() MemoryFootprint {
+	f := MemoryFootprint{
+		ContikiRAM:  ContikiRAM,
+		ContikiROM:  ContikiROM,
+		TinyEVMRAM:  TinyEVMRAM,
+		TinyEVMROM:  TinyEVMROM,
+		TemplateRAM: TemplateRAM,
+		TotalRAM:    TotalRAM,
+		TotalROM:    TotalROM,
+	}
+	f.UsedRAM = f.ContikiRAM + f.TinyEVMRAM + f.TemplateRAM
+	f.UsedROM = f.ContikiROM + f.TinyEVMROM
+	f.AvailableRAM = f.TotalRAM - f.UsedRAM
+	f.AvailableROM = f.TotalROM - f.UsedROM
+	return f
+}
+
+// Device is one simulated OpenMote-B node: identity, virtual clock,
+// Energest accounting, crypto engine, sensor bus and a local TinyEVM with
+// its own state (the template copy and locally generated payment
+// channels live here).
+type Device struct {
+	// Name identifies the node in logs and traces.
+	Name string
+
+	key   *secp256k1.PrivateKey
+	addr  types.Address
+	clock time.Duration
+
+	// Energest is the per-state time accounting.
+	Energest Energest
+	// Power is the current/voltage model for energy derivation.
+	Power PowerModel
+	// TraceEnabled turns on Figure 5 style current tracing.
+	TraceEnabled bool
+	// Trace is the recorded current-over-time trace.
+	Trace Trace
+	// Crypto is the hardware crypto engine.
+	Crypto *CryptoEngine
+	// Sensors is the sensor/actuator bus.
+	Sensors *Sensors
+
+	// State is the device-local contract state.
+	State *evm.MemState
+	// VM is the TinyEVM instance bound to State and Sensors.
+	VM *evm.EVM
+
+	cycles CycleModel
+	// phase labels spans recorded while it is set.
+	phase string
+}
+
+// New creates a device with a deterministic identity derived from name.
+func New(name string) *Device {
+	d := &Device{
+		Name:    name,
+		key:     secp256k1.DeterministicKey("device:" + name),
+		Power:   DefaultPowerModel(),
+		Sensors: NewSensors(),
+		State:   evm.NewMemState(),
+	}
+	d.addr = d.key.PublicKey.Address()
+	d.Crypto = &CryptoEngine{dev: d}
+	d.VM = evm.New(evm.TinyConfig(), d.State)
+	d.VM.Sensors = d.Sensors
+	d.VM.Tracer = &d.cycles
+	// The device account holds its channel funds locally.
+	d.State.AddBalance(d.addr, uint256.NewInt(1_000_000_000))
+	return d
+}
+
+// Address returns the device's Ethereum-style address.
+func (d *Device) Address() types.Address { return d.addr }
+
+// Key returns the device's signing key.
+func (d *Device) Key() *secp256k1.PrivateKey { return d.key }
+
+// Now returns the device's virtual clock.
+func (d *Device) Now() time.Duration { return d.clock }
+
+// SetPhase labels subsequently recorded trace spans; used by the protocol
+// round driver to annotate Figure 5.
+func (d *Device) SetPhase(label string) { d.phase = label }
+
+// spend advances the clock by dt in power state s and records it.
+func (d *Device) spend(s PowerState, dt time.Duration, label string) {
+	if dt <= 0 {
+		return
+	}
+	d.Energest.Record(s, dt)
+	if d.TraceEnabled {
+		l := label
+		if d.phase != "" {
+			l = d.phase + ": " + label
+		}
+		d.Trace.Add(CurrentSample{
+			Start:     d.clock,
+			Duration:  dt,
+			State:     s,
+			CurrentMA: d.Power.CurrentMilliAmps[s],
+			Label:     l,
+		})
+	}
+	d.clock += dt
+}
+
+// SpendCPU charges general MCU work (protocol bookkeeping and the like).
+func (d *Device) SpendCPU(dt time.Duration, label string) { d.spend(StateCPU, dt, label) }
+
+// SpendTX charges radio transmission time.
+func (d *Device) SpendTX(dt time.Duration, label string) { d.spend(StateTX, dt, label) }
+
+// SpendRX charges radio reception time.
+func (d *Device) SpendRX(dt time.Duration, label string) { d.spend(StateRX, dt, label) }
+
+// Sleep idles the MCU in LPM2 for dt.
+func (d *Device) Sleep(dt time.Duration) { d.spend(StateLPM, dt, "sleep") }
+
+// SleepUntil idles in LPM2 until the clock reaches t (no-op if past).
+func (d *Device) SleepUntil(t time.Duration) {
+	if t > d.clock {
+		d.Sleep(t - d.clock)
+	}
+}
+
+// DeployResult describes one on-device contract deployment, the unit of
+// measurement for Table II and Figures 3-4.
+type DeployResult struct {
+	// Address is where the runtime code was installed.
+	Address types.Address
+	// BytecodeSize is the size of the constructor (init) code.
+	BytecodeSize int
+	// RuntimeSize is the deployed runtime code size.
+	RuntimeSize int
+	// MemoryUsage is the VM RAM high-water mark during deployment.
+	MemoryUsage uint64
+	// MaxStackPointer is the operand-stack high-water mark in words.
+	MaxStackPointer int
+	// StackBytes is the stack high-water mark in bytes (words * 32).
+	StackBytes int
+	// Time is the on-device deployment latency.
+	Time time.Duration
+	// Err is nil on success.
+	Err error
+}
+
+// Fixed deployment costs beyond constructor execution.
+const (
+	// DeploySetupTime covers VM instantiation: zeroing the 8 KB RAM
+	// segment and the 3 KB stack segment, parsing the bytecode and
+	// building the jump-destination table. It dominates tiny contracts
+	// and matches the paper's ~5 ms deployment floor (Table II min).
+	DeploySetupTime = 5000 * time.Microsecond
+	// FlashWritePerByte is the CC2538 flash programming rate for
+	// persisting the returned runtime code (~20 us per 32-bit word).
+	FlashWritePerByte = 5 * time.Microsecond
+)
+
+// Deploy runs initCode on the device's TinyEVM, installs the returned
+// runtime code, and charges the implied CPU time. This is the paper's
+// deployment experiment: "The deployment of a smart contract starts with
+// the initialization of the smart contract using its constructor
+// function ... Finally, it will return the actual bytecode that will be
+// installed on the device."
+func (d *Device) Deploy(initCode []byte, value uint64) DeployResult {
+	start := d.cycles
+	res := d.VM.Create(d.addr, initCode, uint256.NewInt(value), 0)
+	spent := CyclesToDuration(d.cycles.Cycles-start.Cycles) +
+		(d.cycles.KeccakTime - start.KeccakTime)
+	spent += DeploySetupTime
+	if res.Err == nil {
+		spent += time.Duration(len(res.ReturnData)) * FlashWritePerByte
+	}
+	d.spend(StateCPU, spent, "deploy contract")
+	d.spend(StateCrypto, d.cycles.CryptoTime-start.CryptoTime, "precompile crypto")
+
+	out := DeployResult{
+		Address:         res.ContractAddress,
+		BytecodeSize:    len(initCode),
+		RuntimeSize:     len(res.ReturnData),
+		MemoryUsage:     res.Stats.PeakMemory,
+		MaxStackPointer: res.Stats.MaxStackDepth,
+		StackBytes:      res.Stats.MaxStackDepth * 32,
+		Time:            spent,
+		Err:             res.Err,
+	}
+	if res.Err == nil {
+		out.RuntimeSize = len(d.State.Code(res.ContractAddress))
+	}
+	return out
+}
+
+// CallResult describes one on-device contract call.
+type CallResult struct {
+	// ReturnData is the call's RETURN payload.
+	ReturnData []byte
+	// Time is the on-device execution latency.
+	Time time.Duration
+	// Stats are the VM execution counters.
+	Stats evm.ExecStats
+	// Err is nil on success.
+	Err error
+}
+
+// Call executes a contract on the device's TinyEVM, charging CPU time.
+func (d *Device) Call(to types.Address, input []byte, value uint64) CallResult {
+	start := d.cycles
+	res := d.VM.Call(d.addr, to, input, uint256.NewInt(value), 0)
+	spent := CyclesToDuration(d.cycles.Cycles-start.Cycles) +
+		(d.cycles.KeccakTime - start.KeccakTime)
+	d.spend(StateCPU, spent, "execute contract")
+	d.spend(StateCrypto, d.cycles.CryptoTime-start.CryptoTime, "precompile crypto")
+	return CallResult{ReturnData: res.ReturnData, Time: spent, Stats: res.Stats, Err: res.Err}
+}
+
+// EnergyReport derives the Table IV report for everything this device has
+// done since the last ResetMeasurement.
+func (d *Device) EnergyReport() EnergyReport {
+	return d.Energest.Report(d.Power)
+}
+
+// ResetMeasurement clears the Energest accumulators, trace and clock so a
+// new experiment starts from zero.
+func (d *Device) ResetMeasurement() {
+	d.Energest.Reset()
+	d.Trace.Reset()
+	d.clock = 0
+	d.cycles.Reset()
+}
+
+// BatteryEstimate reproduces the paper's §VI-C3 battery-life estimate:
+// given the per-round energy and a payment interval, how long do two AA
+// cells (10,000 J) last, and how many payments fit.
+type BatteryEstimate struct {
+	// PerRoundMJ is the energy of one off-chain round in millijoules.
+	PerRoundMJ float64
+	// Rounds is the number of rounds the battery supports.
+	Rounds uint64
+	// Lifetime is the time until depletion at the given interval.
+	Lifetime time.Duration
+}
+
+// EstimateBattery computes the battery estimate for a round energy and
+// payment interval. batteryJoules defaults to the paper's 10,000 J when
+// zero.
+func EstimateBattery(perRoundMJ float64, interval time.Duration, batteryJoules float64) BatteryEstimate {
+	if batteryJoules == 0 {
+		batteryJoules = 10_000
+	}
+	if perRoundMJ <= 0 {
+		return BatteryEstimate{}
+	}
+	rounds := uint64(batteryJoules * 1000 / perRoundMJ)
+	return BatteryEstimate{
+		PerRoundMJ: perRoundMJ,
+		Rounds:     rounds,
+		Lifetime:   time.Duration(rounds) * interval,
+	}
+}
+
+// String renders the footprint as the paper's Table III.
+func (f MemoryFootprint) String() string {
+	pct := func(part, whole int) string {
+		return fmt.Sprintf("%d%%", (part*100+whole/2)/whole)
+	}
+	out := fmt.Sprintf("%-26s %12s %8s %12s %8s\n", "Component", "RAM B", "RAM %", "ROM B", "ROM %")
+	out += fmt.Sprintf("%-26s %12d %8s %12d %8s\n", "Contiki-NG OS", f.ContikiRAM, pct(f.ContikiRAM, f.TotalRAM), f.ContikiROM, pct(f.ContikiROM, f.TotalROM))
+	out += fmt.Sprintf("%-26s %12d %8s %12d %8s\n", "TinyEVM", f.TinyEVMRAM, pct(f.TinyEVMRAM, f.TotalRAM), f.TinyEVMROM, pct(f.TinyEVMROM, f.TotalROM))
+	out += fmt.Sprintf("%-26s %12d %8s %12s %8s\n", "Smart Contract Template", f.TemplateRAM, pct(f.TemplateRAM, f.TotalRAM), "-", "-")
+	out += fmt.Sprintf("%-26s %12d %8s %12d %8s\n", "Total footprint", f.UsedRAM, pct(f.UsedRAM, f.TotalRAM), f.UsedROM, pct(f.UsedROM, f.TotalROM))
+	out += fmt.Sprintf("%-26s %12d %8s %12d %8s\n", "Available memory", f.AvailableRAM, pct(f.AvailableRAM, f.TotalRAM), f.AvailableROM, pct(f.AvailableROM, f.TotalROM))
+	return out
+}

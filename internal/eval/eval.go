@@ -1,0 +1,384 @@
+// Package eval implements the paper's evaluation section: one entry
+// point per table and figure, each returning structured results plus a
+// paper-style text rendering. cmd/benchtables drives it from the command
+// line; the module-root benchmarks drive it from testing.B.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"tinyevm/internal/corpus"
+	"tinyevm/internal/device"
+	"tinyevm/internal/evm"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/stats"
+)
+
+// --- Table I -----------------------------------------------------------
+
+// TableI is the EVM vs TinyEVM specification comparison.
+type TableI struct {
+	Full evm.CategoryCount
+	Tiny evm.CategoryCount
+}
+
+// RunTableI introspects the live opcode tables.
+func RunTableI() TableI {
+	return TableI{
+		Full: evm.CountCategories(evm.ModeFull),
+		Tiny: evm.CountCategories(evm.ModeTiny),
+	}
+}
+
+// String renders the paper's Table I.
+func (t TableI) String() string {
+	var b strings.Builder
+	row := func(name, full, tiny string) {
+		fmt.Fprintf(&b, "%-28s %12s %12s\n", name, full, tiny)
+	}
+	row("Component", "EVM", "TinyEVM")
+	row("Stack memory", "256-bit", "256-bit")
+	row("Random access memory", "8-bit", "8-bit")
+	row("Storage space", "256-bit", "8-bit")
+	row("Operation opcodes", itoa(t.Full.Operation), itoa(t.Tiny.Operation))
+	row("Smart contract opcodes", itoa(t.Full.SmartContract), itoa(t.Tiny.SmartContract))
+	row("Memory opcodes", itoa(t.Full.Memory), itoa(t.Tiny.Memory))
+	row("Blockchain opcodes", dash(t.Full.Blockchain), dash(t.Tiny.Blockchain))
+	row("IoT opcodes", dash(t.Full.IoT), dash(t.Tiny.IoT))
+	return b.String()
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func dash(n int) string {
+	if n == 0 {
+		return "-"
+	}
+	return itoa(n)
+}
+
+// --- Corpus experiment: Table II, Figures 3a/3b/3c/4 --------------------
+
+// CorpusReport aggregates the deployment experiment over the synthetic
+// contract population.
+type CorpusReport struct {
+	N         int
+	Succeeded int
+
+	// Per-contract raw series (successful deployments unless noted).
+	AllSizes   []float64 // every contract's init-code size
+	Sizes      []float64 // successful only
+	TimesMS    []float64
+	MemBytes   []float64
+	StackPtrs  []float64
+	FailSizes  []float64 // failed contracts' sizes (Figure 3b marks)
+	FailMemory []float64
+
+	SizeSummary  stats.Summary
+	TimeSummary  stats.Summary
+	MemSummary   stats.Summary
+	StackSummary stats.Summary
+	SizeTimeCorr float64
+}
+
+// RunCorpus generates and deploys n synthetic contracts (the paper used
+// 7,000) and aggregates the Table II / Figure 3-4 measurements.
+func RunCorpus(n int, progress func(done int)) CorpusReport {
+	results := corpus.DeployAll(corpus.Generate(corpus.DefaultParams(n)), progress)
+	rep := CorpusReport{N: n}
+	for _, r := range results {
+		size := float64(r.Deploy.BytecodeSize)
+		rep.AllSizes = append(rep.AllSizes, size)
+		if r.Deploy.Err != nil {
+			rep.FailSizes = append(rep.FailSizes, size)
+			rep.FailMemory = append(rep.FailMemory, float64(r.Deploy.MemoryUsage))
+			continue
+		}
+		rep.Succeeded++
+		rep.Sizes = append(rep.Sizes, size)
+		rep.TimesMS = append(rep.TimesMS, float64(r.Deploy.Time.Microseconds())/1000)
+		rep.MemBytes = append(rep.MemBytes, float64(r.Deploy.MemoryUsage))
+		rep.StackPtrs = append(rep.StackPtrs, float64(r.Deploy.MaxStackPointer))
+	}
+	rep.SizeSummary = stats.Summarize(rep.Sizes)
+	rep.TimeSummary = stats.Summarize(rep.TimesMS)
+	rep.MemSummary = stats.Summarize(rep.MemBytes)
+	rep.StackSummary = stats.Summarize(rep.StackPtrs)
+	rep.SizeTimeCorr = stats.Correlation(rep.Sizes, rep.TimesMS)
+	return rep
+}
+
+// SuccessRate returns the deployability ratio (paper: 93%).
+func (r CorpusReport) SuccessRate() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.Succeeded) / float64(r.N)
+}
+
+// TableII renders the Table II summary.
+func (r CorpusReport) TableII() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s %14s %18s\n",
+		"Measurement", "Contract Size", "Stack Pointer", "Stack (Bytes)", "Memory (Bytes)", "Deploy Time (ms)")
+	row := func(name string, f func(stats.Summary) float64) {
+		fmt.Fprintf(&b, "%-12s %14.0f %14.0f %14.0f %14.0f %18.0f\n", name,
+			f(r.SizeSummary), f(r.StackSummary), f(r.StackSummary)*32,
+			f(r.MemSummary), f(r.TimeSummary))
+	}
+	row("Max", func(s stats.Summary) float64 { return s.Max })
+	row("Min", func(s stats.Summary) float64 { return s.Min })
+	row("Mean", func(s stats.Summary) float64 { return s.Mean })
+	row("Std", func(s stats.Summary) float64 { return s.Std })
+	fmt.Fprintf(&b, "\nSuccessfully deployed: %d of %d (%.1f%%), paper reports 93%%\n",
+		r.Succeeded, r.N, 100*r.SuccessRate())
+	fmt.Fprintf(&b, "Size/time correlation: %.3f (paper: \"no correlation\")\n", r.SizeTimeCorr)
+	return b.String()
+}
+
+// Fig3a renders the contract-size density with the 8 KB limit marker.
+func (r CorpusReport) Fig3a() string {
+	h := stats.NewHistogram(r.AllSizes, 25)
+	var b strings.Builder
+	b.WriteString("Figure 3a: distribution of smart-contract memory requirements\n")
+	b.WriteString(stats.RenderHistogram(h, 50, "contract size (bytes)"))
+	fmt.Fprintf(&b, "device deployment limit: %d bytes; %.1f%% deployable\n",
+		evm.TinyCodeLimit, 100*r.SuccessRate())
+	return b.String()
+}
+
+// Fig3b renders memory usage vs contract size with the capacity line.
+func (r CorpusReport) Fig3b() string {
+	pts := make([]stats.Point, 0, len(r.Sizes)+len(r.FailSizes))
+	for i := range r.Sizes {
+		pts = append(pts, stats.Point{X: r.Sizes[i], Y: r.MemBytes[i], Mark: '+'})
+	}
+	for i := range r.FailSizes {
+		pts = append(pts, stats.Point{X: r.FailSizes[i], Y: r.FailMemory[i], Mark: 'x'})
+	}
+	return stats.RenderScatter(pts, 70, 22,
+		"Figure 3b: device memory usage vs smart contract size ('x' = failed deployment)",
+		"contract size (bytes)", "memory usage (bytes)",
+		math.NaN(), float64(evm.TinyMemoryBytes))
+}
+
+// Fig3c renders the maximum stack pointer density.
+func (r CorpusReport) Fig3c() string {
+	h := stats.NewHistogram(r.StackPtrs, 20)
+	var b strings.Builder
+	b.WriteString("Figure 3c: maximum stack pointer of successfully deployed contracts\n")
+	b.WriteString(stats.RenderHistogram(h, 50, "max stack pointer (words)"))
+	fmt.Fprintf(&b, "mean %.0f, max %.0f (Ethereum allows 1024; TinyEVM allots %d)\n",
+		r.StackSummary.Mean, r.StackSummary.Max, evm.TinyStackWords)
+	return b.String()
+}
+
+// Fig4 renders deployment time vs bytecode size.
+func (r CorpusReport) Fig4() string {
+	pts := make([]stats.Point, 0, len(r.Sizes))
+	for i := range r.Sizes {
+		pts = append(pts, stats.Point{X: r.Sizes[i], Y: r.TimesMS[i]})
+	}
+	var b strings.Builder
+	b.WriteString(stats.RenderScatter(pts, 70, 22,
+		"Figure 4: deployment time vs bytecode size",
+		"contract size (bytes)", "deployment time (ms)",
+		math.NaN(), math.NaN()))
+	fmt.Fprintf(&b, "mean %.0f ms (paper: 215 ms), std %.0f (paper: 277), max %.0f ms (paper: 9159)\n",
+		r.TimeSummary.Mean, r.TimeSummary.Std, r.TimeSummary.Max)
+	return b.String()
+}
+
+// --- Table III -----------------------------------------------------------
+
+// RunTableIII returns the static memory footprint.
+func RunTableIII() device.MemoryFootprint { return device.Footprint() }
+
+// --- Table V -------------------------------------------------------------
+
+// TableV is the crypto-operation latency table.
+type TableV struct {
+	SignTime   time.Duration
+	SHA256Time time.Duration
+	KeccakTime time.Duration
+}
+
+// RunTableV measures the device crypto engine by running each operation
+// and reading the Energest deltas.
+func RunTableV() TableV {
+	d := device.New("crypto-bench")
+	digest := [32]byte{1, 2, 3}
+
+	before := d.Energest.Elapsed(device.StateCrypto)
+	if _, err := d.Crypto.Sign(digest); err != nil {
+		panic(err) // deterministic key, cannot fail
+	}
+	sign := d.Energest.Elapsed(device.StateCrypto) - before
+
+	before = d.Energest.Elapsed(device.StateCrypto)
+	d.Crypto.SHA256([]byte("payment"))
+	sha := d.Energest.Elapsed(device.StateCrypto) - before
+
+	beforeCPU := d.Energest.Elapsed(device.StateCPU)
+	d.Crypto.Keccak256([]byte("payment"))
+	kec := d.Energest.Elapsed(device.StateCPU) - beforeCPU
+
+	return TableV{SignTime: sign, SHA256Time: sha, KeccakTime: kec}
+}
+
+// Total returns the per-round crypto time (paper: 356 ms).
+func (t TableV) Total() time.Duration { return t.SignTime + t.SHA256Time + t.KeccakTime }
+
+// String renders the paper's Table V.
+func (t TableV) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s %10s\n", "Operation type", "Mode", "Time")
+	fmt.Fprintf(&b, "%-28s %6s %10.0f ms\n", "ECDSA - Signature", "HW", ms(t.SignTime))
+	fmt.Fprintf(&b, "%-28s %6s %10.0f ms\n", "SHA256 - Hash function", "HW", ms(t.SHA256Time))
+	fmt.Fprintf(&b, "%-28s %6s %10.0f ms\n", "Keccak256 - Hash function", "SW", ms(t.KeccakTime))
+	fmt.Fprintf(&b, "%-28s %6s %10.0f ms\n", "Total time", "", ms(t.Total()))
+	return b.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// --- Round experiment: Table IV, Figure 5, payment latency, battery -----
+
+// RoundReport aggregates repeated off-chain rounds.
+type RoundReport struct {
+	Reps int
+	// Energy is the mean per-state car-side energy (Table IV rows).
+	Energy device.EnergyReport
+	// ActiveTimes and WallTimes are the per-rep series.
+	ActiveTimesMS []float64
+	WallTimesMS   []float64
+	// PaymentLatenciesMS measures single additional payments.
+	PaymentLatenciesMS []float64
+	// SampleTrace is one representative Figure 5 trace.
+	SampleTrace []device.CurrentSample
+	// Battery is the §VI-C3 estimate at a 10-minute payment interval.
+	Battery device.BatteryEstimate
+}
+
+// RunRounds executes the canonical parking round `reps` times (the paper
+// runs "over 200 times") and aggregates.
+func RunRounds(reps int) (*RoundReport, error) {
+	rep := &RoundReport{Reps: reps}
+
+	var sumRows [5]float64
+	var sumTotalTime, sumTotalEnergy float64
+	order := make([]device.EnergyRow, 0, 5)
+
+	for i := 0; i < reps; i++ {
+		s, err := protocol.NewScenario(int64(i + 1))
+		if err != nil {
+			return nil, err
+		}
+		r, err := protocol.RunParkingRound(s, 10_000, 250, 300*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			rep.SampleTrace = r.CarTrace
+			order = r.CarEnergy.Rows
+		}
+		for j, row := range r.CarEnergy.Rows {
+			sumRows[j] += row.EnergyMJ
+		}
+		sumTotalTime += float64(r.CarEnergy.TotalTime.Microseconds()) / 1000
+		sumTotalEnergy += r.CarEnergy.TotalEnergyMJ
+		rep.ActiveTimesMS = append(rep.ActiveTimesMS, float64(r.ActiveTime.Microseconds())/1000)
+		rep.WallTimesMS = append(rep.WallTimesMS, float64(r.WallTime.Microseconds())/1000)
+
+		// One extra payment on a fresh channel for the latency metric.
+		cs, err := s.Car.OpenChannel(s.Lot.Address(), 10_000, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.Lot.AcceptChannel(); err != nil {
+			return nil, err
+		}
+		lat, err := protocol.PaymentLatency(s, cs.ID, 100)
+		if err != nil {
+			return nil, err
+		}
+		rep.PaymentLatenciesMS = append(rep.PaymentLatenciesMS, float64(lat.Microseconds())/1000)
+	}
+
+	// Mean Table IV.
+	n := float64(reps)
+	rows := make([]device.EnergyRow, len(order))
+	for j, row := range order {
+		rows[j] = device.EnergyRow{
+			State:     row.State,
+			CurrentMA: row.CurrentMA,
+			EnergyMJ:  sumRows[j] / n,
+		}
+		// Back out the mean time from energy, current and the 2.1 V
+		// supply so the rendered table is self-consistent.
+		if row.CurrentMA > 0 {
+			seconds := (sumRows[j] / n) / (row.CurrentMA * 2.1)
+			rows[j].Time = time.Duration(seconds * float64(time.Second))
+		}
+	}
+	rep.Energy = device.EnergyReport{Rows: rows}
+	for _, r := range rows {
+		rep.Energy.TotalTime += r.Time
+		rep.Energy.TotalEnergyMJ += r.EnergyMJ
+	}
+	rep.Battery = device.EstimateBattery(rep.Energy.TotalEnergyMJ, 10*time.Minute, 0)
+	return rep, nil
+}
+
+// TableIV renders the mean per-state energy table.
+func (r *RoundReport) TableIV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table IV: energy of one off-chain round (mean of %d reps, car side)\n", r.Reps)
+	b.WriteString(r.Energy.String())
+	act := stats.Summarize(r.ActiveTimesMS)
+	fmt.Fprintf(&b, "active (non-LPM) time: mean %.0f ms (the paper's 584 ms metric)\n", act.Mean)
+	pay := stats.Summarize(r.PaymentLatenciesMS)
+	fmt.Fprintf(&b, "single off-chain payment latency: mean %.0f ms (paper: 584 ms)\n", pay.Mean)
+	return b.String()
+}
+
+// Fig5 renders the representative current trace.
+func (r *RoundReport) Fig5() string {
+	spans := make([]stats.Span, 0, len(r.SampleTrace))
+	for _, s := range r.SampleTrace {
+		spans = append(spans, stats.Span{
+			Start:    s.Start.Seconds(),
+			Duration: s.Duration.Seconds(),
+			Level:    s.CurrentMA,
+			Label:    s.Label,
+		})
+	}
+	var b strings.Builder
+	b.WriteString(stats.RenderSpans(spans, 76, 10,
+		"Figure 5: current draw over one off-chain round (car)", "s", "current (mA)"))
+	b.WriteString("phases:\n")
+	last := ""
+	for _, s := range r.SampleTrace {
+		phase := s.Label
+		if i := strings.Index(phase, ":"); i > 0 {
+			phase = phase[:i]
+		}
+		if phase != last && phase != "sleep" {
+			fmt.Fprintf(&b, "  %7.3f s  %s\n", s.Start.Seconds(), phase)
+			last = phase
+		}
+	}
+	return b.String()
+}
+
+// BatterySummary renders the §VI-C3 estimate.
+func (r *RoundReport) BatterySummary() string {
+	years := r.Battery.Lifetime.Hours() / 24 / 365
+	return fmt.Sprintf(
+		"Battery estimate: %.1f mJ/round -> %d rounds on 10,000 J; at one payment per "+
+			"10 minutes: %.1f years (paper: ~333,000 payments, > 6 years)\n",
+		r.Battery.PerRoundMJ, r.Battery.Rounds, years)
+}

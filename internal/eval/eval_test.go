@@ -1,0 +1,224 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	tbl := RunTableI()
+	if tbl.Full.Operation != 27 || tbl.Tiny.Operation != 27 {
+		t.Fatalf("operation counts %d/%d", tbl.Full.Operation, tbl.Tiny.Operation)
+	}
+	if tbl.Full.SmartContract != 25 || tbl.Tiny.SmartContract != 21 {
+		t.Fatalf("smart contract counts %d/%d", tbl.Full.SmartContract, tbl.Tiny.SmartContract)
+	}
+	if tbl.Full.Memory != 13 || tbl.Tiny.Memory != 13 {
+		t.Fatalf("memory counts %d/%d", tbl.Full.Memory, tbl.Tiny.Memory)
+	}
+	if tbl.Full.Blockchain != 6 || tbl.Tiny.Blockchain != 0 {
+		t.Fatalf("blockchain counts %d/%d", tbl.Full.Blockchain, tbl.Tiny.Blockchain)
+	}
+	if tbl.Full.IoT != 0 || tbl.Tiny.IoT != 1 {
+		t.Fatalf("IoT counts %d/%d", tbl.Full.IoT, tbl.Tiny.IoT)
+	}
+	out := tbl.String()
+	for _, want := range []string{"256-bit", "8-bit", "Blockchain opcodes", "IoT opcodes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCorpusExperimentSmall(t *testing.T) {
+	rep := RunCorpus(150, nil)
+	if rep.N != 150 {
+		t.Fatalf("N = %d", rep.N)
+	}
+	if rep.SuccessRate() < 0.80 || rep.SuccessRate() > 1.0 {
+		t.Fatalf("success rate %.2f", rep.SuccessRate())
+	}
+	if len(rep.TimesMS) != rep.Succeeded {
+		t.Fatal("series length mismatch")
+	}
+	for _, render := range []string{rep.TableII(), rep.Fig3a(), rep.Fig3b(), rep.Fig3c(), rep.Fig4()} {
+		if len(render) < 50 {
+			t.Fatalf("rendering too short:\n%s", render)
+		}
+	}
+	if !strings.Contains(rep.TableII(), "Deploy Time") {
+		t.Fatal("Table II missing columns")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	f := RunTableIII()
+	if f.UsedRAM != 25_715 {
+		t.Fatalf("used RAM %d", f.UsedRAM)
+	}
+}
+
+func TestTableV(t *testing.T) {
+	tbl := RunTableV()
+	// Quantization tolerance of one Energest tick.
+	tick := 30 * time.Microsecond
+	within := func(got, want time.Duration) bool {
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d <= tick
+	}
+	if !within(tbl.SignTime, 350*time.Millisecond) {
+		t.Fatalf("sign %v", tbl.SignTime)
+	}
+	if !within(tbl.SHA256Time, time.Millisecond) {
+		t.Fatalf("sha %v", tbl.SHA256Time)
+	}
+	if !within(tbl.KeccakTime, 5*time.Millisecond) {
+		t.Fatalf("keccak %v", tbl.KeccakTime)
+	}
+	if tot := tbl.Total(); tot < 355*time.Millisecond || tot > 357*time.Millisecond {
+		t.Fatalf("total %v, paper 356 ms", tot)
+	}
+	if !strings.Contains(tbl.String(), "ECDSA") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRoundsAggregate(t *testing.T) {
+	rep, err := RunRounds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ActiveTimesMS) != 3 || len(rep.PaymentLatenciesMS) != 3 {
+		t.Fatal("series incomplete")
+	}
+	if rep.Energy.TotalEnergyMJ <= 0 {
+		t.Fatal("no energy")
+	}
+	// Crypto dominates (Table IV shape).
+	if rep.Energy.Rows[0].EnergyMJ < rep.Energy.TotalEnergyMJ*0.4 {
+		t.Fatalf("crypto share too small: %.1f of %.1f",
+			rep.Energy.Rows[0].EnergyMJ, rep.Energy.TotalEnergyMJ)
+	}
+	if rep.Battery.Rounds == 0 {
+		t.Fatal("battery estimate missing")
+	}
+	for _, render := range []string{rep.TableIV(), rep.Fig5(), rep.BatterySummary()} {
+		if len(render) < 40 {
+			t.Fatalf("rendering too short:\n%s", render)
+		}
+	}
+}
+
+func TestWordWidthAblation(t *testing.T) {
+	rows := RunWordWidthAblation()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Narrower words must be cheaper; 256-bit is the 1.0 baseline.
+	if !(rows[0].RelativeCycles < rows[1].RelativeCycles &&
+		rows[1].RelativeCycles < rows[2].RelativeCycles) {
+		t.Fatalf("widths not monotone: %+v", rows)
+	}
+	if rows[2].Bits != 256 || rows[2].RelativeCycles < 0.99 || rows[2].RelativeCycles > 1.01 {
+		t.Fatalf("baseline not normalized: %+v", rows[2])
+	}
+	if !strings.Contains(RenderWordWidthAblation(rows), "256-bit") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestStorageAblation(t *testing.T) {
+	rows := RunStorageAblation(120)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Deployability is monotone in the budget.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SuccessRate < rows[i-1].SuccessRate {
+			t.Fatalf("non-monotone: %+v", rows)
+		}
+	}
+	if !strings.Contains(RenderStorageAblation(rows), "1024 B") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestMemoryAblation(t *testing.T) {
+	rows := RunMemoryAblation(120)
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SuccessRate < rows[i-1].SuccessRate {
+			t.Fatalf("non-monotone: %+v", rows)
+		}
+	}
+	// The knee: 8 KB captures most of the population.
+	var at8k float64
+	for _, r := range rows {
+		if r.LimitBytes == 8192 {
+			at8k = r.SuccessRate
+		}
+	}
+	if at8k < 0.85 {
+		t.Fatalf("8 KB deployability %.2f", at8k)
+	}
+	if !strings.Contains(RenderMemoryAblation(rows), "paper's choice") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestOracleComparison(t *testing.T) {
+	cmp, err := RunOracleComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The opcode path is on-device and sub-millisecond-scale; the
+	// oracle path pays a signature, radio and block inclusion.
+	if cmp.OpcodeTime <= 0 || cmp.OpcodeTime > 50*time.Millisecond {
+		t.Fatalf("opcode time %v", cmp.OpcodeTime)
+	}
+	if cmp.OracleLatency < time.Second {
+		t.Fatalf("oracle latency %v suspiciously fast", cmp.OracleLatency)
+	}
+	if cmp.OracleEnergyMJ <= cmp.OpcodeEnergyMJ {
+		t.Fatal("oracle path cheaper than the opcode — model broken")
+	}
+	if cmp.OracleGas == 0 {
+		t.Fatal("oracle gas not accounted")
+	}
+	if !strings.Contains(cmp.String(), "speedup") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestRoutingExperiment(t *testing.T) {
+	r1, err := RunRouting(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := RunRouting(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More hops cost more time and more sender-side... the sender's own
+	// cost is one signature regardless; total latency grows with hops.
+	if r3.Latency <= r1.Latency {
+		t.Fatalf("3 hops (%v) not slower than 1 hop (%v)", r3.Latency, r1.Latency)
+	}
+	if r3.PerHopEnergyMJ <= 0 {
+		t.Fatal("intermediary energy missing")
+	}
+	// An intermediary verifies AND signs: costlier than the sender
+	// (sign only).
+	if r3.PerHopEnergyMJ <= r3.SenderEnergyMJ {
+		t.Fatalf("per-hop %.1f <= sender %.1f", r3.PerHopEnergyMJ, r3.SenderEnergyMJ)
+	}
+	if !strings.Contains(RenderRouting([]*RoutingReport{r1, r3}), "routing") {
+		t.Fatal("rendering broken")
+	}
+}

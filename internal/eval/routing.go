@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/device"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/radio"
+)
+
+// RoutingReport measures multi-hop payments over a chain of TinyEVM
+// nodes — the paper's future-work direction ("the feasibility of payment
+// networks and payment routing algorithms on low-power IoT devices"),
+// built on the hash-lock construction of internal/protocol.
+type RoutingReport struct {
+	// Hops is the number of forwarding channels.
+	Hops int
+	// Latency is the end-to-end wall time of one routed payment
+	// (forward locking plus backward claiming).
+	Latency time.Duration
+	// SenderEnergyMJ is the payer's device energy.
+	SenderEnergyMJ float64
+	// PerHopEnergyMJ is the mean intermediary device energy.
+	PerHopEnergyMJ float64
+	// ReceiverEnergyMJ is the final receiver's device energy.
+	ReceiverEnergyMJ float64
+}
+
+// RunRouting builds a linear network of hops+1 channels and routes one
+// payment across it.
+func RunRouting(hops int) (*RoutingReport, error) {
+	if hops < 1 {
+		hops = 1
+	}
+	c := chain.New()
+	net := radio.NewNetwork(radio.DefaultConfig(), 21)
+
+	nodes := make([]*protocol.Party, 0, hops+1)
+	for i := 0; i <= hops; i++ {
+		dev := device.New(fmt.Sprintf("route-node-%d", i))
+		dev.Sensors.RegisterValue(device.SensorTemperature, 2000)
+		ep := net.Join(dev)
+		tpl := protocol.InstallTemplate(c, dev.Address(), 10)
+		c.Fund(dev.Address(), 100_000_000)
+		p, err := protocol.NewParty(dev, ep, tpl.Addr, dev.Address())
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, p)
+	}
+
+	route := make([]protocol.RouteHop, 0, hops)
+	for i := 0; i < hops; i++ {
+		cs, err := nodes[i].OpenChannel(nodes[i+1].Address(), 1_000_000, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := nodes[i+1].AcceptChannel(); err != nil {
+			return nil, err
+		}
+		route = append(route, protocol.RouteHop{From: nodes[i], ChannelID: cs.ID})
+	}
+
+	// Measure only the routed payment, not the setup.
+	for _, n := range nodes {
+		n.Dev.ResetMeasurement()
+	}
+	start := nodes[0].Dev.Now()
+	if _, err := protocol.RoutePayment(route, nodes[hops], 10_000, 100); err != nil {
+		return nil, err
+	}
+	var end time.Duration
+	for _, n := range nodes {
+		if now := n.Dev.Now(); now > end {
+			end = now
+		}
+	}
+
+	rep := &RoutingReport{
+		Hops:             hops,
+		Latency:          end - start,
+		SenderEnergyMJ:   nodes[0].Dev.EnergyReport().TotalEnergyMJ,
+		ReceiverEnergyMJ: nodes[hops].Dev.EnergyReport().TotalEnergyMJ,
+	}
+	if hops > 1 {
+		var sum float64
+		for i := 1; i < hops; i++ {
+			sum += nodes[i].Dev.EnergyReport().TotalEnergyMJ
+		}
+		rep.PerHopEnergyMJ = sum / float64(hops-1)
+	}
+	return rep, nil
+}
+
+// RenderRouting formats a set of routing measurements.
+func RenderRouting(reports []*RoutingReport) string {
+	var b strings.Builder
+	b.WriteString("Extension: multi-hop payment routing (hash-locked, atomic)\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s %14s\n",
+		"Hops", "Latency", "Sender mJ", "Per-hop mJ", "Receiver mJ")
+	for _, r := range reports {
+		fmt.Fprintf(&b, "%-8d %14s %14.1f %14.1f %14.1f\n",
+			r.Hops, r.Latency.Round(time.Millisecond),
+			r.SenderEnergyMJ, r.PerHopEnergyMJ, r.ReceiverEnergyMJ)
+	}
+	b.WriteString("Each hop adds one 350 ms signature + one verification on its crypto engine;\n")
+	b.WriteString("intermediaries pay ~2x a direct payment's energy (they verify AND sign).\n")
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package evm
+
+import "errors"
+
+// Execution errors. ErrRevert is special: it carries the REVERT return
+// data in ExecResult and does not poison the caller, matching EVM
+// semantics; every other error consumes the frame.
+var (
+	// ErrStackOverflow indicates the stack grew past the configured
+	// limit (1024 words on-chain, 96 words / 3 KB on the device).
+	ErrStackOverflow = errors.New("evm: stack overflow")
+	// ErrStackUnderflow indicates an opcode popped an empty stack.
+	ErrStackUnderflow = errors.New("evm: stack underflow")
+	// ErrInvalidOpcode indicates an undefined byte, the INVALID opcode,
+	// or an opcode removed in the active mode.
+	ErrInvalidOpcode = errors.New("evm: invalid opcode")
+	// ErrOpcodeRemoved indicates an opcode that exists in the full EVM
+	// but is removed in TinyEVM mode (blockchain and gas opcodes).
+	ErrOpcodeRemoved = errors.New("evm: opcode removed in TinyEVM mode")
+	// ErrInvalidJump indicates a jump to a non-JUMPDEST destination.
+	ErrInvalidJump = errors.New("evm: invalid jump destination")
+	// ErrOutOfGas indicates gas exhaustion in ModeFull.
+	ErrOutOfGas = errors.New("evm: out of gas")
+	// ErrMemoryLimit indicates a memory expansion past the device cap
+	// (8 KB of EVM random-access memory in TinyEVM mode).
+	ErrMemoryLimit = errors.New("evm: memory limit exceeded")
+	// ErrStorageFull indicates the 1 KB / 32-slot TinyEVM storage budget
+	// is exhausted.
+	ErrStorageFull = errors.New("evm: storage full")
+	// ErrStepLimit indicates the off-chain step budget was exhausted
+	// (TinyEVM's replacement for gas as a termination guarantee).
+	ErrStepLimit = errors.New("evm: step limit exceeded")
+	// ErrWriteProtection indicates a state mutation inside STATICCALL.
+	ErrWriteProtection = errors.New("evm: write protection")
+	// ErrRevert indicates the contract executed REVERT.
+	ErrRevert = errors.New("evm: execution reverted")
+	// ErrCodeSizeLimit indicates deployed runtime code exceeding the
+	// deployment limit (8 KB on the device, EIP-170's 24576 on-chain).
+	ErrCodeSizeLimit = errors.New("evm: code size limit exceeded")
+	// ErrCallDepth indicates call/create recursion past the limit.
+	ErrCallDepth = errors.New("evm: call depth exceeded")
+	// ErrInsufficientBalance indicates a value transfer without funds.
+	ErrInsufficientBalance = errors.New("evm: insufficient balance")
+	// ErrNoSensorBus indicates the IoT opcode executed on a machine with
+	// no sensor bus attached.
+	ErrNoSensorBus = errors.New("evm: no sensor bus attached")
+	// ErrContractCollision indicates CREATE/CREATE2 targeting an
+	// existing contract account.
+	ErrContractCollision = errors.New("evm: contract address collision")
+)

@@ -1,0 +1,293 @@
+package evm
+
+import (
+	"fmt"
+
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+// EVM executes bytecode against a StateDB under a Config. One EVM value
+// handles one top-level call or create, including its nested frames.
+type EVM struct {
+	// Config is the machine configuration (mode, limits).
+	Config Config
+	// State is the account and storage backend.
+	State StateDB
+	// Block supplies blockchain opcodes in ModeFull.
+	Block BlockContext
+	// Tx supplies ORIGIN and GASPRICE.
+	Tx TxContext
+	// Sensors backs the IoT opcode in ModeTiny; nil makes the opcode
+	// fail with ErrNoSensorBus.
+	Sensors SensorBus
+	// Tracer, when non-nil, observes every executed instruction.
+	Tracer Tracer
+
+	depth     int
+	stepsLeft uint64
+}
+
+// New constructs an EVM over the given state.
+func New(cfg Config, state StateDB) *EVM {
+	vm := &EVM{Config: cfg, State: state}
+	vm.resetStepBudget()
+	return vm
+}
+
+// resetStepBudget re-arms the per-transaction step limit.
+func (vm *EVM) resetStepBudget() {
+	if vm.Config.StepLimit == 0 {
+		vm.stepsLeft = ^uint64(0)
+	} else {
+		vm.stepsLeft = vm.Config.StepLimit
+	}
+}
+
+// ExecResult is the outcome of a Call or Create.
+type ExecResult struct {
+	// ReturnData is the RETURN or REVERT payload.
+	ReturnData []byte
+	// Err is nil on success, ErrRevert on REVERT, or a hard failure.
+	Err error
+	// GasUsed is the total gas consumed (ModeFull).
+	GasUsed uint64
+	// Stats aggregates execution counters across all frames.
+	Stats ExecStats
+	// ContractAddress is set by Create.
+	ContractAddress types.Address
+}
+
+// Reverted reports whether execution ended in REVERT (state rolled back,
+// return data available).
+func (r *ExecResult) Reverted() bool { return r.Err == ErrRevert }
+
+// Failed reports whether execution failed for any reason.
+func (r *ExecResult) Failed() bool { return r.Err != nil }
+
+// frame is one execution frame (one contract activation).
+type frame struct {
+	vm *EVM
+	// address is the account whose storage/context the code runs in.
+	address types.Address
+	// codeAddress is the account the code was loaded from (differs from
+	// address under DELEGATECALL/CALLCODE).
+	codeAddress types.Address
+	caller      types.Address
+	value       uint256.Int
+	code        []byte
+	input       []byte
+	gas         *gasPool
+	stack       *Stack
+	memory      *Memory
+	pc          uint64
+	returnData  []byte // last child call's return data
+	readOnly    bool
+	stats       ExecStats
+	// jumpDests caches valid JUMPDEST positions for the code.
+	jumpDests map[uint64]bool
+}
+
+// analyzeJumpDests finds all valid JUMPDEST positions, skipping PUSH
+// immediates.
+func analyzeJumpDests(code []byte) map[uint64]bool {
+	dests := make(map[uint64]bool)
+	for i := 0; i < len(code); i++ {
+		op := Opcode(code[i])
+		if op == OpJumpDest {
+			dests[uint64(i)] = true
+		}
+		i += op.PushBytes()
+	}
+	return dests
+}
+
+// Call runs the code at `to` with the given input and value transfer.
+// gasLimit is only consulted in ModeFull.
+func (vm *EVM) Call(caller, to types.Address, input []byte, value *uint256.Int, gasLimit uint64) *ExecResult {
+	if vm.depth == 0 {
+		vm.resetStepBudget()
+	}
+	return vm.call(caller, to, to, input, value, gasLimit, false, false)
+}
+
+// StaticCall runs the code at `to` with state mutation forbidden.
+func (vm *EVM) StaticCall(caller, to types.Address, input []byte, gasLimit uint64) *ExecResult {
+	if vm.depth == 0 {
+		vm.resetStepBudget()
+	}
+	return vm.call(caller, to, to, input, uint256.NewInt(0), gasLimit, true, false)
+}
+
+// call implements CALL/CALLCODE/DELEGATECALL/STATICCALL. When
+// delegate is true, storage context `contextAddr` differs from the code
+// account `codeAddr` and no value transfer occurs.
+func (vm *EVM) call(caller, contextAddr, codeAddr types.Address, input []byte, value *uint256.Int, gasLimit uint64, readOnly, delegate bool) *ExecResult {
+	if vm.depth >= vm.Config.CallDepthLimit {
+		return &ExecResult{Err: ErrCallDepth}
+	}
+
+	snap := vm.State.Snapshot()
+
+	if !delegate && !value.IsZero() {
+		if readOnly {
+			vm.State.RevertToSnapshot(snap)
+			return &ExecResult{Err: ErrWriteProtection}
+		}
+		if err := vm.transfer(caller, contextAddr, value); err != nil {
+			vm.State.RevertToSnapshot(snap)
+			return &ExecResult{Err: err}
+		}
+	}
+
+	if isPrecompile(codeAddr) {
+		res := &ExecResult{ReturnData: runPrecompile(codeAddr, input)}
+		if vm.Config.Mode == ModeFull {
+			fee := precompileGas(codeAddr, len(input))
+			if fee > gasLimit {
+				vm.State.RevertToSnapshot(snap)
+				return &ExecResult{Err: ErrOutOfGas, GasUsed: gasLimit}
+			}
+			res.GasUsed = fee
+		}
+		vm.discardSnapshot(snap)
+		return res
+	}
+
+	code := vm.State.Code(codeAddr)
+	if len(code) == 0 {
+		// Plain value transfer or call to empty account: succeeds with
+		// no execution.
+		vm.discardSnapshot(snap)
+		return &ExecResult{}
+	}
+
+	f := vm.newFrame(contextAddr, codeAddr, caller, value, code, input, gasLimit, readOnly)
+	res := vm.runFrame(f)
+	if res.Err != nil {
+		vm.State.RevertToSnapshot(snap)
+	} else {
+		vm.discardSnapshot(snap)
+	}
+	return res
+}
+
+// Create deploys a contract: it runs `initCode` as the constructor and
+// installs its return value as the runtime code, enforcing the
+// deployment limit. This is the operation measured by the paper's
+// Figure 4 / Table II deployment experiment.
+func (vm *EVM) Create(caller types.Address, initCode []byte, value *uint256.Int, gasLimit uint64) *ExecResult {
+	if vm.depth == 0 {
+		vm.resetStepBudget()
+	}
+	nonce := vm.State.Nonce(caller)
+	addr := types.ContractAddress(caller, nonce)
+	return vm.create(caller, addr, initCode, value, gasLimit)
+}
+
+// CreateAt deploys to an explicit address (CREATE2-style or test use).
+func (vm *EVM) CreateAt(caller types.Address, addr types.Address, initCode []byte, value *uint256.Int, gasLimit uint64) *ExecResult {
+	if vm.depth == 0 {
+		vm.resetStepBudget()
+	}
+	return vm.create(caller, addr, initCode, value, gasLimit)
+}
+
+func (vm *EVM) create(caller, addr types.Address, initCode []byte, value *uint256.Int, gasLimit uint64) *ExecResult {
+	if vm.depth >= vm.Config.CallDepthLimit {
+		return &ExecResult{Err: ErrCallDepth}
+	}
+	if len(vm.State.Code(addr)) > 0 || vm.State.Nonce(addr) > 0 {
+		return &ExecResult{Err: ErrContractCollision}
+	}
+
+	snap := vm.State.Snapshot()
+	vm.State.SetNonce(caller, vm.State.Nonce(caller)+1)
+	vm.State.CreateAccount(addr)
+
+	if !value.IsZero() {
+		if err := vm.transfer(caller, addr, value); err != nil {
+			vm.State.RevertToSnapshot(snap)
+			return &ExecResult{Err: err}
+		}
+	}
+
+	f := vm.newFrame(addr, addr, caller, value, initCode, nil, gasLimit, false)
+	res := vm.runFrame(f)
+	if res.Err != nil {
+		vm.State.RevertToSnapshot(snap)
+		return res
+	}
+
+	runtime := res.ReturnData
+	if len(runtime) > vm.Config.CodeSizeLimit {
+		vm.State.RevertToSnapshot(snap)
+		res.Err = fmt.Errorf("%w: %d bytes > %d", ErrCodeSizeLimit, len(runtime), vm.Config.CodeSizeLimit)
+		return res
+	}
+	if f.gas.metered {
+		if err := f.gas.consume(gasCodeDepositByte * uint64(len(runtime))); err != nil {
+			vm.State.RevertToSnapshot(snap)
+			res.Err = err
+			return res
+		}
+		res.GasUsed = f.gas.used
+		res.Stats.GasUsed = f.gas.used
+	}
+	vm.State.SetCode(addr, runtime)
+	vm.discardSnapshot(snap)
+	res.ContractAddress = addr
+	return res
+}
+
+func (vm *EVM) newFrame(contextAddr, codeAddr, caller types.Address, value *uint256.Int, code, input []byte, gasLimit uint64, readOnly bool) *frame {
+	return &frame{
+		vm:          vm,
+		address:     contextAddr,
+		codeAddress: codeAddr,
+		caller:      caller,
+		value:       *value,
+		code:        code,
+		input:       input,
+		gas:         newGasPool(gasLimit, vm.Config.Mode == ModeFull),
+		stack:       NewStack(vm.Config.StackLimit),
+		memory:      NewMemory(vm.Config.MemoryLimit),
+		readOnly:    readOnly,
+		jumpDests:   analyzeJumpDests(code),
+	}
+}
+
+// runFrame executes a frame to completion and folds its stats.
+func (vm *EVM) runFrame(f *frame) *ExecResult {
+	vm.depth++
+	defer func() { vm.depth-- }()
+
+	ret, err := f.run()
+	f.stats.MaxStackDepth = f.stack.MaxDepth()
+	f.stats.PeakMemory = f.memory.Peak()
+	if f.gas.metered {
+		f.stats.GasUsed = f.gas.used
+	}
+	return &ExecResult{
+		ReturnData: ret,
+		Err:        err,
+		GasUsed:    f.gas.used,
+		Stats:      f.stats,
+	}
+}
+
+func (vm *EVM) transfer(from, to types.Address, amount *uint256.Int) error {
+	if err := vm.State.SubBalance(from, amount); err != nil {
+		return err
+	}
+	vm.State.AddBalance(to, amount)
+	return nil
+}
+
+// discardSnapshot drops a snapshot on the success path when the backend
+// supports it.
+func (vm *EVM) discardSnapshot(id int) {
+	if d, ok := vm.State.(interface{ DiscardSnapshot(int) }); ok {
+		d.DiscardSnapshot(id)
+	}
+}

@@ -1,0 +1,151 @@
+package evm
+
+// Gas schedule for ModeFull, following the yellow-paper fee structure in
+// simplified form: the constant classes (zero/base/verylow/low/mid/high),
+// quadratic memory expansion, per-word copy and hash costs, and the
+// SSTORE set/reset/clear rules. Refund accounting is omitted — the
+// simulated chain only needs costs to be monotone and roughly
+// proportioned, not consensus-exact.
+//
+// TinyEVM (ModeTiny) charges no gas at all: "There is no charging for
+// the off-chain computations as all operations are executed locally"
+// (paper §IV-B). Termination is guaranteed by Config.StepLimit instead.
+const (
+	gasZero    uint64 = 0
+	gasBase    uint64 = 2
+	gasVeryLow uint64 = 3
+	gasLow     uint64 = 5
+	gasMid     uint64 = 8
+	gasHigh    uint64 = 10
+
+	gasExtStep    uint64 = 700 // EXTCODESIZE/EXTCODECOPY/BALANCE class
+	gasSload      uint64 = 200
+	gasSstoreSet  uint64 = 20000
+	gasSstoreRe   uint64 = 5000
+	gasJumpDest   uint64 = 1
+	gasKeccakBase uint64 = 30
+	gasKeccakWord uint64 = 6
+	gasCopyWord   uint64 = 3
+	gasLogBase    uint64 = 375
+	gasLogTopic   uint64 = 375
+	gasLogByte    uint64 = 8
+	gasCreate     uint64 = 32000
+	gasCall       uint64 = 700
+	gasCallValue  uint64 = 9000
+	gasNewAccount uint64 = 25000
+	gasSelfDestr  uint64 = 5000
+	gasExpBase    uint64 = 10
+	gasExpByte    uint64 = 50
+	gasBlockHash  uint64 = 20
+	// gasCodeDepositByte is charged per byte of deployed runtime code.
+	gasCodeDepositByte uint64 = 200
+	// gasMemoryWord is the linear memory expansion fee per 32-byte word;
+	// the quadratic component is words²/512.
+	gasMemoryWord uint64 = 3
+)
+
+// constGas returns the constant (pre-dynamic) gas cost of op.
+func constGas(op Opcode) uint64 {
+	switch op {
+	case OpStop, OpReturn, OpRevert:
+		return gasZero
+	case OpAddress, OpOrigin, OpCaller, OpCallValue, OpCallDataSize,
+		OpCodeSize, OpGasPrice, OpCoinbase, OpTimestamp, OpNumber,
+		OpDifficulty, OpGasLimit, OpPop, OpPC, OpMSize, OpGas,
+		OpReturnDataSize:
+		return gasBase
+	case OpAdd, OpSub, OpNot, OpLt, OpGt, OpSlt, OpSgt, OpEq, OpIsZero,
+		OpAnd, OpOr, OpXor, OpByte, OpShl, OpShr, OpSar,
+		OpCallDataLoad, OpMLoad, OpMStore, OpMStore8:
+		return gasVeryLow
+	case OpMul, OpDiv, OpSDiv, OpMod, OpSMod, OpSignExtend:
+		return gasLow
+	case OpAddMod, OpMulMod, OpJump:
+		return gasMid
+	case OpJumpI:
+		return gasHigh
+	case OpJumpDest:
+		return gasJumpDest
+	case OpSLoad:
+		return gasSload
+	case OpBalance, OpExtCodeSize, OpExtCodeCopy, OpExtCodeHash:
+		return gasExtStep
+	case OpBlockHash:
+		return gasBlockHash
+	case OpCreate, OpCreate2:
+		return gasCreate
+	case OpCall, OpCallCode, OpDelegateCall, OpStaticCall:
+		return gasCall
+	case OpSelfDestruct:
+		return gasSelfDestr
+	case OpKeccak256:
+		return gasKeccakBase
+	default:
+		if op.IsPush() || (op >= OpDup1 && op <= OpDup16) || (op >= OpSwap1 && op <= OpSwap16) {
+			return gasVeryLow
+		}
+		if op >= OpLog0 && op <= OpLog4 {
+			return gasLogBase
+		}
+		return gasBase
+	}
+}
+
+// memoryGas returns the total fee for a memory of the given word count:
+// 3*words + words²/512.
+func memoryGas(words uint64) uint64 {
+	return gasMemoryWord*words + words*words/512
+}
+
+// wordCount rounds a byte size up to 32-byte words.
+func wordCount(bytes uint64) uint64 { return (bytes + 31) / 32 }
+
+// gasPool tracks remaining gas for a frame in ModeFull. In ModeTiny the
+// pool is inert (unlimited).
+type gasPool struct {
+	remaining uint64
+	metered   bool
+	used      uint64
+	// memWords is the charged memory size high-water mark in words.
+	memWords uint64
+}
+
+func newGasPool(limit uint64, metered bool) *gasPool {
+	return &gasPool{remaining: limit, metered: metered}
+}
+
+// consume deducts amount; it reports ErrOutOfGas when exhausted.
+func (g *gasPool) consume(amount uint64) error {
+	if !g.metered {
+		return nil
+	}
+	if g.remaining < amount {
+		g.remaining = 0
+		return ErrOutOfGas
+	}
+	g.remaining -= amount
+	g.used += amount
+	return nil
+}
+
+// chargeMemory charges the incremental fee for expanding charged memory
+// to cover [offset, offset+size).
+func (g *gasPool) chargeMemory(offset, size uint64) error {
+	if !g.metered || size == 0 {
+		return nil
+	}
+	end := offset + size
+	if end < offset {
+		return ErrOutOfGas
+	}
+	words := wordCount(end)
+	if words <= g.memWords {
+		return nil
+	}
+	fee := memoryGas(words) - memoryGas(g.memWords)
+	if err := g.consume(fee); err != nil {
+		return err
+	}
+	g.memWords = words
+	return nil
+}

@@ -1,0 +1,957 @@
+package evm
+
+import (
+	"fmt"
+
+	"tinyevm/internal/keccak"
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+// run is the interpreter loop of one frame. It returns the RETURN/REVERT
+// payload and the terminal error (nil for STOP/RETURN).
+func (f *frame) run() ([]byte, error) {
+	vm := f.vm
+	for {
+		if f.pc >= uint64(len(f.code)) {
+			// Implicit STOP off the end of code.
+			return nil, nil
+		}
+		op := Opcode(f.code[f.pc])
+		entry := opTable[op]
+		info, defined := entry.opInfo, entry.defined
+
+		if vm.stepsLeft == 0 {
+			return nil, ErrStepLimit
+		}
+		vm.stepsLeft--
+		f.stats.Steps++
+
+		if vm.Tracer != nil {
+			vm.Tracer.CaptureOp(f.pc, op, f.stack, f.memory.Len())
+		}
+
+		if !defined || op == OpInvalid {
+			return nil, fmt.Errorf("%w: %s at pc %d", ErrInvalidOpcode, op, f.pc)
+		}
+		if vm.Config.Mode == ModeTiny && info.tinyRemoved {
+			return nil, fmt.Errorf("%w: %s at pc %d", ErrOpcodeRemoved, info.name, f.pc)
+		}
+		if op == OpSensor && !vm.Config.EnableSensorOpcode {
+			return nil, fmt.Errorf("%w: SENSOR at pc %d", ErrInvalidOpcode, f.pc)
+		}
+		if err := f.stack.Require(info.pops); err != nil {
+			return nil, fmt.Errorf("%s at pc %d: %w", info.name, f.pc, err)
+		}
+		if err := f.gas.consume(constGas(op)); err != nil {
+			return nil, err
+		}
+
+		done, ret, err := f.step(op)
+		if err != nil {
+			return ret, err
+		}
+		if done {
+			return ret, nil
+		}
+	}
+}
+
+// step executes one opcode. It returns done=true with the frame's result
+// for terminal opcodes.
+func (f *frame) step(op Opcode) (done bool, ret []byte, err error) {
+	switch {
+	case op.IsPush():
+		return false, nil, f.opPush(op)
+	case op >= OpDup1 && op <= OpDup16:
+		return false, nil, f.advance(f.stack.Dup(int(op-OpDup1) + 1))
+	case op >= OpSwap1 && op <= OpSwap16:
+		return false, nil, f.advance(f.stack.Swap(int(op-OpSwap1) + 1))
+	case op >= OpLog0 && op <= OpLog4:
+		return false, nil, f.advance(f.opLog(int(op - OpLog0)))
+	}
+
+	switch op {
+	case OpStop:
+		return true, nil, nil
+
+	// --- arithmetic -------------------------------------------------
+	case OpAdd:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Add(x, y) })
+	case OpMul:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Mul(x, y) })
+	case OpSub:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Sub(x, y) })
+	case OpDiv:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Div(x, y) })
+	case OpSDiv:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.SDiv(x, y) })
+	case OpMod:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Mod(x, y) })
+	case OpSMod:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.SMod(x, y) })
+	case OpAddMod:
+		return false, nil, f.ternOp(func(z, x, y, m *uint256.Int) { z.AddMod(x, y, m) })
+	case OpMulMod:
+		return false, nil, f.ternOp(func(z, x, y, m *uint256.Int) { z.MulMod(x, y, m) })
+	case OpExp:
+		return false, nil, f.opExp()
+	case OpSignExtend:
+		return false, nil, f.binOp(func(z, b, x *uint256.Int) { z.SignExtend(b, x) })
+
+	// --- IoT --------------------------------------------------------
+	case OpSensor:
+		return false, nil, f.opSensor()
+
+	// --- comparison & bitwise ---------------------------------------
+	case OpLt:
+		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Lt(y) })
+	case OpGt:
+		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Gt(y) })
+	case OpSlt:
+		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Slt(y) })
+	case OpSgt:
+		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Sgt(y) })
+	case OpEq:
+		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Eq(y) })
+	case OpIsZero:
+		return false, nil, f.unOpBool(func(x *uint256.Int) bool { return x.IsZero() })
+	case OpAnd:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.And(x, y) })
+	case OpOr:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Or(x, y) })
+	case OpXor:
+		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Xor(x, y) })
+	case OpNot:
+		return false, nil, f.unOp(func(z, x *uint256.Int) { z.Not(x) })
+	case OpByte:
+		return false, nil, f.binOp(func(z, n, x *uint256.Int) { z.Byte(n, x) })
+	case OpShl:
+		return false, nil, f.binOp(func(z, s, v *uint256.Int) { z.Shl(s, v) })
+	case OpShr:
+		return false, nil, f.binOp(func(z, s, v *uint256.Int) { z.Shr(s, v) })
+	case OpSar:
+		return false, nil, f.binOp(func(z, s, v *uint256.Int) { z.Sar(s, v) })
+
+	// --- crypto -----------------------------------------------------
+	case OpKeccak256:
+		return false, nil, f.opKeccak()
+
+	// --- environment ------------------------------------------------
+	case OpAddress:
+		return false, nil, f.pushAddr(f.address)
+	case OpBalance:
+		return false, nil, f.opBalance()
+	case OpOrigin:
+		return false, nil, f.pushAddr(f.vm.Tx.Origin)
+	case OpCaller:
+		return false, nil, f.pushAddr(f.caller)
+	case OpCallValue:
+		return false, nil, f.advance(f.stack.Push(&f.value))
+	case OpCallDataLoad:
+		return false, nil, f.opCallDataLoad()
+	case OpCallDataSize:
+		return false, nil, f.pushUint(uint64(len(f.input)))
+	case OpCallDataCopy:
+		return false, nil, f.opCopy(f.input)
+	case OpCodeSize:
+		return false, nil, f.pushUint(uint64(len(f.code)))
+	case OpCodeCopy:
+		return false, nil, f.opCopy(f.code)
+	case OpGasPrice:
+		return false, nil, f.pushUint(f.vm.Tx.GasPrice)
+	case OpExtCodeSize:
+		return false, nil, f.opExtCodeSize()
+	case OpExtCodeCopy:
+		return false, nil, f.opExtCodeCopy()
+	case OpReturnDataSize:
+		return false, nil, f.pushUint(uint64(len(f.returnData)))
+	case OpReturnDataCopy:
+		return false, nil, f.opCopy(f.returnData)
+	case OpExtCodeHash:
+		return false, nil, f.opExtCodeHash()
+
+	// --- blockchain (ModeFull only; removal handled in run) ----------
+	case OpBlockHash:
+		return false, nil, f.opBlockHash()
+	case OpCoinbase:
+		return false, nil, f.pushAddr(f.vm.Block.Coinbase)
+	case OpTimestamp:
+		return false, nil, f.pushUint(f.vm.Block.Timestamp)
+	case OpNumber:
+		return false, nil, f.pushUint(f.vm.Block.Number)
+	case OpDifficulty:
+		return false, nil, f.pushUint(f.vm.Block.Difficulty)
+	case OpGasLimit:
+		return false, nil, f.pushUint(f.vm.Block.GasLimit)
+
+	// --- stack / memory / storage / flow ------------------------------
+	case OpPop:
+		_, err := f.stack.Pop()
+		return false, nil, f.advance(err)
+	case OpMLoad:
+		return false, nil, f.opMLoad()
+	case OpMStore:
+		return false, nil, f.opMStore()
+	case OpMStore8:
+		return false, nil, f.opMStore8()
+	case OpSLoad:
+		return false, nil, f.opSLoad()
+	case OpSStore:
+		return false, nil, f.opSStore()
+	case OpJump:
+		return false, nil, f.opJump()
+	case OpJumpI:
+		return false, nil, f.opJumpI()
+	case OpPC:
+		return false, nil, f.pushUint(f.pc)
+	case OpMSize:
+		return false, nil, f.pushUint(f.memory.Len())
+	case OpGas:
+		return false, nil, f.pushUint(f.gas.remaining)
+	case OpJumpDest:
+		f.pc++
+		return false, nil, nil
+
+	// --- system -------------------------------------------------------
+	case OpCreate:
+		return false, nil, f.opCreate(false)
+	case OpCreate2:
+		return false, nil, f.opCreate(true)
+	case OpCall:
+		return false, nil, f.opCall(OpCall)
+	case OpCallCode:
+		return false, nil, f.opCall(OpCallCode)
+	case OpDelegateCall:
+		return false, nil, f.opCall(OpDelegateCall)
+	case OpStaticCall:
+		return false, nil, f.opCall(OpStaticCall)
+	case OpReturn:
+		ret, err := f.opReturnData()
+		return true, ret, err
+	case OpRevert:
+		ret, err := f.opReturnData()
+		if err != nil {
+			return true, nil, err
+		}
+		return true, ret, ErrRevert
+	case OpSelfDestruct:
+		return true, nil, f.opSelfDestruct()
+
+	default:
+		return true, nil, fmt.Errorf("%w: %s", ErrInvalidOpcode, op)
+	}
+}
+
+// advance bumps pc when err is nil; a helper for single-byte opcodes.
+func (f *frame) advance(err error) error {
+	if err != nil {
+		return err
+	}
+	f.pc++
+	return nil
+}
+
+func (f *frame) pushUint(v uint64) error {
+	return f.advance(f.stack.PushUint64(v))
+}
+
+func (f *frame) pushAddr(a types.Address) error {
+	var w uint256.Int
+	w.SetBytes(a[:])
+	return f.advance(f.stack.Push(&w))
+}
+
+// binOp pops (x, y) and pushes op(x, y).
+func (f *frame) binOp(apply func(z, x, y *uint256.Int)) error {
+	x, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	y, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	var z uint256.Int
+	apply(&z, &x, &y)
+	return f.advance(f.stack.Push(&z))
+}
+
+// ternOp pops (x, y, m) and pushes op(x, y, m).
+func (f *frame) ternOp(apply func(z, x, y, m *uint256.Int)) error {
+	x, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	y, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	m, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	var z uint256.Int
+	apply(&z, &x, &y, &m)
+	return f.advance(f.stack.Push(&z))
+}
+
+func (f *frame) unOp(apply func(z, x *uint256.Int)) error {
+	x, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	var z uint256.Int
+	apply(&z, &x)
+	return f.advance(f.stack.Push(&z))
+}
+
+func (f *frame) cmpOp(pred func(x, y *uint256.Int) bool) error {
+	return f.binOp(func(z, x, y *uint256.Int) {
+		if pred(x, y) {
+			z.SetOne()
+		} else {
+			z.Clear()
+		}
+	})
+}
+
+func (f *frame) unOpBool(pred func(x *uint256.Int) bool) error {
+	return f.unOp(func(z, x *uint256.Int) {
+		if pred(x) {
+			z.SetOne()
+		} else {
+			z.Clear()
+		}
+	})
+}
+
+func (f *frame) opPush(op Opcode) error {
+	n := op.PushBytes()
+	start := f.pc + 1
+	end := start + uint64(n)
+	var chunk []byte
+	if start < uint64(len(f.code)) {
+		stop := end
+		if stop > uint64(len(f.code)) {
+			stop = uint64(len(f.code))
+		}
+		chunk = f.code[start:stop]
+	}
+	// Immediates past the end of code read as zero; pad on the right.
+	var w uint256.Int
+	if len(chunk) == n {
+		w.SetBytes(chunk)
+	} else {
+		padded := make([]byte, n)
+		copy(padded, chunk)
+		w.SetBytes(padded)
+	}
+	if err := f.stack.Push(&w); err != nil {
+		return err
+	}
+	f.pc = end
+	return nil
+}
+
+func (f *frame) opExp() error {
+	base, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	exp, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	if f.gas.metered {
+		if err := f.gas.consume(gasExpBase + gasExpByte*uint64(exp.ByteLen())); err != nil {
+			return err
+		}
+	}
+	var z uint256.Int
+	z.Exp(&base, &exp)
+	return f.advance(f.stack.Push(&z))
+}
+
+func (f *frame) opSensor() error {
+	id, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	param, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	if f.vm.Sensors == nil {
+		return ErrNoSensorBus
+	}
+	f.stats.SensorOps++
+	v, err := f.vm.Sensors.Sense(id.Uint64Capped(^uint64(0)), param.Uint64Capped(^uint64(0)))
+	if err != nil {
+		return fmt.Errorf("evm: SENSOR(%d): %w", id.Uint64(), err)
+	}
+	return f.pushUint(v)
+}
+
+func (f *frame) opKeccak() error {
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	size, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	off, sz, err := f.memRange(&offset, &size)
+	if err != nil {
+		return err
+	}
+	if f.gas.metered {
+		if err := f.gas.consume(gasKeccakWord * wordCount(sz)); err != nil {
+			return err
+		}
+	}
+	data, err := f.memory.View(off, sz)
+	if err != nil {
+		return err
+	}
+	f.stats.Keccaks++
+	h := keccak.Sum256(data)
+	var w uint256.Int
+	w.SetBytes(h[:])
+	return f.advance(f.stack.Push(&w))
+}
+
+// memRange validates and charges a (offset, size) memory range from the
+// stack.
+func (f *frame) memRange(offset, size *uint256.Int) (uint64, uint64, error) {
+	if size.IsZero() {
+		return 0, 0, nil
+	}
+	const maxRange = 1 << 32
+	if !size.IsUint64() || size.Uint64() > maxRange || !offset.IsUint64() || offset.Uint64() > maxRange {
+		return 0, 0, ErrMemoryLimit
+	}
+	off, sz := offset.Uint64(), size.Uint64()
+	if err := f.gas.chargeMemory(off, sz); err != nil {
+		return 0, 0, err
+	}
+	return off, sz, nil
+}
+
+func (f *frame) opBalance() error {
+	addrWord, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	b := addrWord.Bytes32()
+	bal := f.vm.State.Balance(types.BytesToAddress(b[12:]))
+	return f.advance(f.stack.Push(bal))
+}
+
+func (f *frame) opCallDataLoad() error {
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	var w uint256.Int
+	var buf [32]byte
+	if offset.IsUint64() {
+		off := offset.Uint64()
+		for i := uint64(0); i < 32; i++ {
+			if off+i < uint64(len(f.input)) {
+				buf[i] = f.input[off+i]
+			}
+		}
+	}
+	w.SetBytes(buf[:])
+	return f.advance(f.stack.Push(&w))
+}
+
+// opCopy implements CALLDATACOPY/CODECOPY/RETURNDATACOPY: pops
+// (memOffset, srcOffset, size) and copies src into memory, zero-padding
+// past the end of src.
+func (f *frame) opCopy(src []byte) error {
+	memOff, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	srcOff, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	size, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	return f.advance(f.copyIntoMemory(src, &memOff, &srcOff, &size))
+}
+
+func (f *frame) copyIntoMemory(src []byte, memOff, srcOff, size *uint256.Int) error {
+	dst, sz, err := f.memRange(memOff, size)
+	if err != nil {
+		return err
+	}
+	if sz == 0 {
+		return nil
+	}
+	if f.gas.metered {
+		if err := f.gas.consume(gasCopyWord * wordCount(sz)); err != nil {
+			return err
+		}
+	}
+	if err := f.memory.Expand(dst, sz); err != nil {
+		return err
+	}
+	chunk := make([]byte, sz)
+	if srcOff.IsUint64() {
+		so := srcOff.Uint64()
+		if so < uint64(len(src)) {
+			copy(chunk, src[so:])
+		}
+	}
+	return f.memory.Set(dst, chunk)
+}
+
+func (f *frame) opExtCodeSize() error {
+	addrWord, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	b := addrWord.Bytes32()
+	code := f.vm.State.Code(types.BytesToAddress(b[12:]))
+	return f.pushUint(uint64(len(code)))
+}
+
+func (f *frame) opExtCodeCopy() error {
+	addrWord, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	b := addrWord.Bytes32()
+	code := f.vm.State.Code(types.BytesToAddress(b[12:]))
+	return f.opCopy(code)
+}
+
+func (f *frame) opExtCodeHash() error {
+	addrWord, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	b := addrWord.Bytes32()
+	addr := types.BytesToAddress(b[12:])
+	var w uint256.Int
+	if f.vm.State.Exists(addr) {
+		h := f.vm.State.CodeHash(addr)
+		w.SetBytes(h[:])
+	}
+	return f.advance(f.stack.Push(&w))
+}
+
+func (f *frame) opBlockHash() error {
+	num, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	var w uint256.Int
+	if f.vm.Block.BlockHash != nil && num.IsUint64() {
+		h := f.vm.Block.BlockHash(num.Uint64())
+		w.SetBytes(h[:])
+	}
+	return f.advance(f.stack.Push(&w))
+}
+
+func (f *frame) opMLoad() error {
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	size := uint256.NewInt(32)
+	off, _, err := f.memRange(&offset, size)
+	if err != nil {
+		return err
+	}
+	var w uint256.Int
+	if err := f.memory.GetWord(off, &w); err != nil {
+		return err
+	}
+	return f.advance(f.stack.Push(&w))
+}
+
+func (f *frame) opMStore() error {
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	val, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	size := uint256.NewInt(32)
+	off, _, err := f.memRange(&offset, size)
+	if err != nil {
+		return err
+	}
+	return f.advance(f.memory.SetWord(off, &val))
+}
+
+func (f *frame) opMStore8() error {
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	val, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	one := uint256.NewInt(1)
+	off, _, err := f.memRange(&offset, one)
+	if err != nil {
+		return err
+	}
+	return f.advance(f.memory.SetByte(off, byte(val.Uint64())))
+}
+
+func (f *frame) opSLoad() error {
+	key, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	k := f.vm.Config.truncateStorageKey(&key)
+	v := f.vm.State.GetState(f.address, &k)
+	return f.advance(f.stack.Push(&v))
+}
+
+func (f *frame) opSStore() error {
+	if f.readOnly {
+		return ErrWriteProtection
+	}
+	key, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	val, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	k := f.vm.Config.truncateStorageKey(&key)
+
+	cur := f.vm.State.GetState(f.address, &k)
+	if f.gas.metered {
+		var fee uint64
+		switch {
+		case cur.IsZero() && !val.IsZero():
+			fee = gasSstoreSet
+		default:
+			fee = gasSstoreRe
+		}
+		if err := f.gas.consume(fee); err != nil {
+			return err
+		}
+	}
+	// Enforce the TinyEVM storage budget: a write creating a new live
+	// slot past the limit fails the execution (deployment failure mode
+	// in the corpus evaluation).
+	if limit := f.vm.Config.StorageSlotLimit; limit > 0 {
+		if cur.IsZero() && !val.IsZero() && f.vm.State.StorageSlots(f.address) >= limit {
+			return fmt.Errorf("%w: %d slots (%d bytes)", ErrStorageFull,
+				limit, f.vm.Config.StorageSlotLimit*32)
+		}
+	}
+	f.stats.StorageWrites++
+	f.vm.State.SetState(f.address, &k, &val)
+	f.pc++
+	return nil
+}
+
+func (f *frame) opJump() error {
+	dest, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	return f.jumpTo(&dest)
+}
+
+func (f *frame) opJumpI() error {
+	dest, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	cond, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	if cond.IsZero() {
+		f.pc++
+		return nil
+	}
+	return f.jumpTo(&dest)
+}
+
+func (f *frame) jumpTo(dest *uint256.Int) error {
+	if !dest.IsUint64() || !f.jumpDests[dest.Uint64()] {
+		return fmt.Errorf("%w: pc %s", ErrInvalidJump, dest.Dec())
+	}
+	f.pc = dest.Uint64()
+	return nil
+}
+
+func (f *frame) opLog(topicCount int) error {
+	if f.readOnly {
+		return ErrWriteProtection
+	}
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	size, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	topics := make([]types.Hash, topicCount)
+	for i := 0; i < topicCount; i++ {
+		t, err := f.stack.Pop()
+		if err != nil {
+			return err
+		}
+		topics[i] = types.Hash(t.Bytes32())
+	}
+	off, sz, err := f.memRange(&offset, &size)
+	if err != nil {
+		return err
+	}
+	if f.gas.metered {
+		fee := gasLogTopic*uint64(topicCount) + gasLogByte*sz
+		if err := f.gas.consume(fee); err != nil {
+			return err
+		}
+	}
+	data, err := f.memory.GetCopy(off, sz)
+	if err != nil {
+		return err
+	}
+	f.vm.State.AddLog(Log{Address: f.address, Topics: topics, Data: data})
+	return nil
+}
+
+func (f *frame) opReturnData() ([]byte, error) {
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.stack.Pop()
+	if err != nil {
+		return nil, err
+	}
+	off, sz, err := f.memRange(&offset, &size)
+	if err != nil {
+		return nil, err
+	}
+	return f.memory.GetCopy(off, sz)
+}
+
+func (f *frame) opSelfDestruct() error {
+	if f.readOnly {
+		return ErrWriteProtection
+	}
+	ben, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	b := ben.Bytes32()
+	f.vm.State.SelfDestruct(f.address, types.BytesToAddress(b[12:]))
+	return nil
+}
+
+func (f *frame) opCreate(create2 bool) error {
+	if f.readOnly {
+		return ErrWriteProtection
+	}
+	value, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	offset, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	size, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	var salt uint256.Int
+	if create2 {
+		salt, err = f.stack.Pop()
+		if err != nil {
+			return err
+		}
+	}
+	off, sz, err := f.memRange(&offset, &size)
+	if err != nil {
+		return err
+	}
+	initCode, err := f.memory.GetCopy(off, sz)
+	if err != nil {
+		return err
+	}
+
+	var addr types.Address
+	if create2 {
+		saltBytes := salt.Bytes32()
+		codeHash := keccak.Sum256(initCode)
+		h := keccak.Sum256Concat([]byte{0xff}, f.address[:], saltBytes[:], codeHash[:])
+		addr = types.BytesToAddress(h[12:])
+	} else {
+		addr = types.ContractAddress(f.address, f.vm.State.Nonce(f.address))
+	}
+
+	res := f.vm.create(f.address, addr, initCode, &value, f.gas.remaining)
+	f.stats.merge(res.Stats)
+	if f.gas.metered {
+		if err := f.gas.consume(res.GasUsed); err != nil {
+			return err
+		}
+	}
+	f.returnData = nil
+	var w uint256.Int
+	if res.Err == nil {
+		w.SetBytes(addr[:])
+	} else if res.Err == ErrRevert {
+		f.returnData = res.ReturnData
+	}
+	// Hard child failures (not revert) push 0 in real EVM because the
+	// child consumed its forwarded gas; we mirror that by continuing
+	// with a zero result.
+	return f.advance(f.stack.Push(&w))
+}
+
+// opCall implements the CALL family. Pops differ per variant:
+//
+//	CALL/CALLCODE:        gas, to, value, inOff, inSize, outOff, outSize
+//	DELEGATECALL/STATIC:  gas, to,        inOff, inSize, outOff, outSize
+func (f *frame) opCall(op Opcode) error {
+	gasWord, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	toWord, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	var value uint256.Int
+	if op == OpCall || op == OpCallCode {
+		value, err = f.stack.Pop()
+		if err != nil {
+			return err
+		}
+	}
+	inOff, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	inSize, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	outOff, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+	outSize, err := f.stack.Pop()
+	if err != nil {
+		return err
+	}
+
+	if f.readOnly && op == OpCall && !value.IsZero() {
+		return ErrWriteProtection
+	}
+
+	iOff, iSz, err := f.memRange(&inOff, &inSize)
+	if err != nil {
+		return err
+	}
+	input, err := f.memory.GetCopy(iOff, iSz)
+	if err != nil {
+		return err
+	}
+	oOff, oSz, err := f.memRange(&outOff, &outSize)
+	if err != nil {
+		return err
+	}
+
+	if f.gas.metered && !value.IsZero() {
+		if err := f.gas.consume(gasCallValue); err != nil {
+			return err
+		}
+	}
+
+	// Forward at most the requested gas, capped by the 63/64 rule.
+	forward := f.gas.remaining - f.gas.remaining/64
+	if gasWord.IsUint64() && gasWord.Uint64() < forward {
+		forward = gasWord.Uint64()
+	}
+
+	toB := toWord.Bytes32()
+	to := types.BytesToAddress(toB[12:])
+
+	var res *ExecResult
+	vm := f.vm
+	switch op {
+	case OpCall:
+		res = vm.call(f.address, to, to, input, &value, forward, f.readOnly, false)
+	case OpCallCode:
+		// Run to's code in our own storage context, with value.
+		res = vm.call(f.address, f.address, to, input, &value, forward, f.readOnly, false)
+	case OpDelegateCall:
+		// Keep caller and value from the current frame.
+		res = vm.callDelegate(f.caller, f.address, to, input, &f.value, forward, f.readOnly)
+	case OpStaticCall:
+		res = vm.call(f.address, to, to, input, uint256.NewInt(0), forward, true, true)
+	}
+
+	f.stats.merge(res.Stats)
+	if f.gas.metered {
+		if err := f.gas.consume(res.GasUsed); err != nil {
+			return err
+		}
+	}
+
+	f.returnData = res.ReturnData
+	if oSz > 0 && len(res.ReturnData) > 0 && (res.Err == nil || res.Err == ErrRevert) {
+		n := uint64(len(res.ReturnData))
+		if n > oSz {
+			n = oSz
+		}
+		if err := f.memory.Set(oOff, res.ReturnData[:n]); err != nil {
+			return err
+		}
+	}
+
+	var ok uint256.Int
+	if res.Err == nil {
+		ok.SetOne()
+	}
+	return f.advance(f.stack.Push(&ok))
+}
+
+// callDelegate implements DELEGATECALL: code from codeAddr runs in the
+// current contract's context, preserving the original caller and value.
+func (vm *EVM) callDelegate(origCaller, contextAddr, codeAddr types.Address, input []byte, value *uint256.Int, gasLimit uint64, readOnly bool) *ExecResult {
+	if vm.depth >= vm.Config.CallDepthLimit {
+		return &ExecResult{Err: ErrCallDepth}
+	}
+	snap := vm.State.Snapshot()
+	code := vm.State.Code(codeAddr)
+	if len(code) == 0 {
+		vm.discardSnapshot(snap)
+		return &ExecResult{}
+	}
+	f := vm.newFrame(contextAddr, codeAddr, origCaller, value, code, input, gasLimit, readOnly)
+	res := vm.runFrame(f)
+	if res.Err != nil {
+		vm.State.RevertToSnapshot(snap)
+	} else {
+		vm.discardSnapshot(snap)
+	}
+	return res
+}

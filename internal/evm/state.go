@@ -1,0 +1,317 @@
+package evm
+
+import (
+	"sort"
+
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+// Log is one LOG0..LOG4 emission.
+type Log struct {
+	// Address is the contract that emitted the log.
+	Address types.Address
+	// Topics are the indexed LOG topics (0 to 4).
+	Topics []types.Hash
+	// Data is the unindexed payload.
+	Data []byte
+}
+
+// StateDB is the account/state backend the interpreter mutates. Both the
+// simulated main chain and the on-device state (side-chain storage)
+// implement it through MemState.
+type StateDB interface {
+	// Exists reports whether the account exists (has balance, code or
+	// storage).
+	Exists(addr types.Address) bool
+	// CreateAccount ensures the account exists.
+	CreateAccount(addr types.Address)
+
+	// Balance returns the account balance in wei.
+	Balance(addr types.Address) *uint256.Int
+	// AddBalance credits the account.
+	AddBalance(addr types.Address, amount *uint256.Int)
+	// SubBalance debits the account; it returns ErrInsufficientBalance
+	// when the balance is too small.
+	SubBalance(addr types.Address, amount *uint256.Int) error
+
+	// Nonce returns the account nonce (used for CREATE addressing).
+	Nonce(addr types.Address) uint64
+	// SetNonce sets the account nonce.
+	SetNonce(addr types.Address, nonce uint64)
+
+	// Code returns the account's runtime bytecode.
+	Code(addr types.Address) []byte
+	// SetCode installs runtime bytecode on the account.
+	SetCode(addr types.Address, code []byte)
+	// CodeHash returns the Keccak-256 of the account code.
+	CodeHash(addr types.Address) types.Hash
+
+	// GetState reads one storage slot.
+	GetState(addr types.Address, key *uint256.Int) uint256.Int
+	// SetState writes one storage slot.
+	SetState(addr types.Address, key, val *uint256.Int)
+	// StorageSlots returns the number of live (non-zero) storage slots
+	// of the account; TinyEVM uses it to enforce its 1 KB storage cap.
+	StorageSlots(addr types.Address) int
+
+	// SelfDestruct removes the contract and credits the beneficiary.
+	SelfDestruct(addr, beneficiary types.Address)
+
+	// AddLog records a LOG emission.
+	AddLog(log Log)
+	// Logs returns all recorded logs.
+	Logs() []Log
+
+	// Snapshot captures the current state; RevertToSnapshot rolls back.
+	Snapshot() int
+	RevertToSnapshot(id int)
+}
+
+// account is one account record inside MemState.
+type account struct {
+	balance uint256.Int
+	nonce   uint64
+	code    []byte
+	storage map[uint256.Int]uint256.Int
+	// dead marks accounts removed by SELFDESTRUCT.
+	dead bool
+}
+
+func (a *account) clone() *account {
+	c := &account{
+		balance: a.balance,
+		nonce:   a.nonce,
+		code:    a.code, // code is immutable once set; share the slice
+		dead:    a.dead,
+	}
+	if a.storage != nil {
+		c.storage = make(map[uint256.Int]uint256.Int, len(a.storage))
+		for k, v := range a.storage {
+			c.storage[k] = v
+		}
+	}
+	return c
+}
+
+// MemState is an in-memory StateDB with copy-on-snapshot semantics. It is
+// used both as the simulated main-chain state and as the on-device local
+// state holding the template copy and payment-channel contracts.
+//
+// MemState is not safe for concurrent use; the simulation is
+// single-threaded per chain/device, with any cross-device concurrency
+// handled above this layer.
+type MemState struct {
+	accounts  map[types.Address]*account
+	logs      []Log
+	snapshots []*memSnapshot
+}
+
+type memSnapshot struct {
+	accounts map[types.Address]*account
+	logCount int
+}
+
+var _ StateDB = (*MemState)(nil)
+
+// NewMemState returns an empty state.
+func NewMemState() *MemState {
+	return &MemState{accounts: make(map[types.Address]*account)}
+}
+
+func (s *MemState) acct(addr types.Address) *account {
+	if a, ok := s.accounts[addr]; ok && !a.dead {
+		return a
+	}
+	return nil
+}
+
+func (s *MemState) acctOrCreate(addr types.Address) *account {
+	if a, ok := s.accounts[addr]; ok {
+		if a.dead {
+			// Re-created after self-destruct in the same transaction:
+			// fresh account.
+			a = &account{}
+			s.accounts[addr] = a
+		}
+		return a
+	}
+	a := &account{}
+	s.accounts[addr] = a
+	return a
+}
+
+// Exists implements StateDB.
+func (s *MemState) Exists(addr types.Address) bool {
+	a := s.acct(addr)
+	if a == nil {
+		return false
+	}
+	return !a.balance.IsZero() || a.nonce > 0 || len(a.code) > 0 || len(a.storage) > 0
+}
+
+// CreateAccount implements StateDB.
+func (s *MemState) CreateAccount(addr types.Address) { s.acctOrCreate(addr) }
+
+// Balance implements StateDB.
+func (s *MemState) Balance(addr types.Address) *uint256.Int {
+	if a := s.acct(addr); a != nil {
+		return a.balance.Clone()
+	}
+	return uint256.NewInt(0)
+}
+
+// AddBalance implements StateDB.
+func (s *MemState) AddBalance(addr types.Address, amount *uint256.Int) {
+	a := s.acctOrCreate(addr)
+	a.balance.Add(&a.balance, amount)
+}
+
+// SubBalance implements StateDB.
+func (s *MemState) SubBalance(addr types.Address, amount *uint256.Int) error {
+	a := s.acctOrCreate(addr)
+	if a.balance.Lt(amount) {
+		return ErrInsufficientBalance
+	}
+	a.balance.Sub(&a.balance, amount)
+	return nil
+}
+
+// Nonce implements StateDB.
+func (s *MemState) Nonce(addr types.Address) uint64 {
+	if a := s.acct(addr); a != nil {
+		return a.nonce
+	}
+	return 0
+}
+
+// SetNonce implements StateDB.
+func (s *MemState) SetNonce(addr types.Address, nonce uint64) {
+	s.acctOrCreate(addr).nonce = nonce
+}
+
+// Code implements StateDB.
+func (s *MemState) Code(addr types.Address) []byte {
+	if a := s.acct(addr); a != nil {
+		return a.code
+	}
+	return nil
+}
+
+// SetCode implements StateDB.
+func (s *MemState) SetCode(addr types.Address, code []byte) {
+	cp := make([]byte, len(code))
+	copy(cp, code)
+	s.acctOrCreate(addr).code = cp
+}
+
+// CodeHash implements StateDB.
+func (s *MemState) CodeHash(addr types.Address) types.Hash {
+	a := s.acct(addr)
+	if a == nil {
+		return types.Hash{}
+	}
+	return types.HashData(a.code)
+}
+
+// GetState implements StateDB.
+func (s *MemState) GetState(addr types.Address, key *uint256.Int) uint256.Int {
+	if a := s.acct(addr); a != nil && a.storage != nil {
+		return a.storage[*key]
+	}
+	return uint256.Int{}
+}
+
+// SetState implements StateDB. Writing zero deletes the slot, so
+// StorageSlots counts only live entries.
+func (s *MemState) SetState(addr types.Address, key, val *uint256.Int) {
+	a := s.acctOrCreate(addr)
+	if val.IsZero() {
+		if a.storage != nil {
+			delete(a.storage, *key)
+		}
+		return
+	}
+	if a.storage == nil {
+		a.storage = make(map[uint256.Int]uint256.Int)
+	}
+	a.storage[*key] = *val
+}
+
+// StorageSlots implements StateDB.
+func (s *MemState) StorageSlots(addr types.Address) int {
+	if a := s.acct(addr); a != nil {
+		return len(a.storage)
+	}
+	return 0
+}
+
+// StorageKeys returns the live slot keys of the account in sorted order;
+// used by the side-chain log inspection and tests.
+func (s *MemState) StorageKeys(addr types.Address) []uint256.Int {
+	a := s.acct(addr)
+	if a == nil {
+		return nil
+	}
+	keys := make([]uint256.Int, 0, len(a.storage))
+	for k := range a.storage {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ki, kj := keys[i], keys[j]
+		return ki.Lt(&kj)
+	})
+	return keys
+}
+
+// SelfDestruct implements StateDB.
+func (s *MemState) SelfDestruct(addr, beneficiary types.Address) {
+	a := s.acct(addr)
+	if a == nil {
+		return
+	}
+	if beneficiary != addr {
+		s.AddBalance(beneficiary, &a.balance)
+	}
+	a.balance.Clear()
+	a.dead = true
+}
+
+// AddLog implements StateDB.
+func (s *MemState) AddLog(log Log) { s.logs = append(s.logs, log) }
+
+// Logs implements StateDB.
+func (s *MemState) Logs() []Log { return s.logs }
+
+// Snapshot implements StateDB with a deep copy, which is simple and
+// correct; simulation states are small.
+func (s *MemState) Snapshot() int {
+	snap := &memSnapshot{
+		accounts: make(map[types.Address]*account, len(s.accounts)),
+		logCount: len(s.logs),
+	}
+	for addr, a := range s.accounts {
+		snap.accounts[addr] = a.clone()
+	}
+	s.snapshots = append(s.snapshots, snap)
+	return len(s.snapshots) - 1
+}
+
+// RevertToSnapshot implements StateDB.
+func (s *MemState) RevertToSnapshot(id int) {
+	if id < 0 || id >= len(s.snapshots) {
+		return
+	}
+	snap := s.snapshots[id]
+	s.accounts = snap.accounts
+	s.logs = s.logs[:snap.logCount]
+	s.snapshots = s.snapshots[:id]
+}
+
+// DiscardSnapshot drops a snapshot taken with Snapshot without reverting;
+// callers use it on the success path to keep the snapshot stack bounded.
+func (s *MemState) DiscardSnapshot(id int) {
+	if id >= 0 && id == len(s.snapshots)-1 {
+		s.snapshots = s.snapshots[:id]
+	}
+}

@@ -1,0 +1,172 @@
+// Package keccak implements the Keccak-256 hash function as used by
+// Ethereum: the original Keccak submission with multi-rate padding
+// (domain byte 0x01), not the final FIPS-202 SHA3-256 (0x06).
+//
+// TinyEVM (the paper, §VI-C2) runs Keccak-256 in software on the MCU
+// because the CC2538 crypto engine does not support it; this package is
+// that software implementation, used both for EVM KECCAK256/SHA3 opcodes
+// and for Ethereum address/state hashing throughout the repository.
+package keccak
+
+import (
+	"encoding/binary"
+	"hash"
+	"math/bits"
+)
+
+const (
+	// rate256 is the sponge rate in bytes for 256-bit output
+	// (1600 - 2*256 bits = 1088 bits = 136 bytes).
+	rate256 = 136
+	// Size is the output size of Keccak-256 in bytes.
+	Size = 32
+)
+
+// roundConstants are the 24 iota-step constants of keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+	0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+	0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+	0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+	0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rotationOffsets holds the rho-step rotation amounts indexed [x][y].
+var rotationOffsets = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// keccakF1600 applies the full 24-round keccak-f[1600] permutation to the
+// state, indexed as a[x+5y].
+func keccakF1600(a *[25]uint64) {
+	var b [25]uint64
+	var c, d [5]uint64
+	for round := 0; round < 24; round++ {
+		// Theta.
+		for x := 0; x < 5; x++ {
+			c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20]
+		}
+		for x := 0; x < 5; x++ {
+			d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+			for y := 0; y < 5; y++ {
+				a[x+5*y] ^= d[x]
+			}
+		}
+		// Rho and Pi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				nx, ny := y, (2*x+3*y)%5
+				b[nx+5*ny] = bits.RotateLeft64(a[x+5*y], int(rotationOffsets[x][y]))
+			}
+		}
+		// Chi.
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				a[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+			}
+		}
+		// Iota.
+		a[0] ^= roundConstants[round]
+	}
+}
+
+// Hasher is a streaming Keccak-256 hasher. The zero value is NOT ready to
+// use; construct with New. Hasher implements hash.Hash.
+type Hasher struct {
+	state  [25]uint64
+	buf    [rate256]byte
+	bufLen int
+}
+
+var _ hash.Hash = (*Hasher)(nil)
+
+// New returns a new Keccak-256 hasher.
+func New() *Hasher {
+	return &Hasher{}
+}
+
+// Write absorbs more data into the sponge. It never returns an error.
+func (h *Hasher) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		space := rate256 - h.bufLen
+		if space > len(p) {
+			space = len(p)
+		}
+		copy(h.buf[h.bufLen:], p[:space])
+		h.bufLen += space
+		p = p[space:]
+		if h.bufLen == rate256 {
+			h.absorbBlock()
+		}
+	}
+	return n, nil
+}
+
+func (h *Hasher) absorbBlock() {
+	for i := 0; i < rate256/8; i++ {
+		h.state[i] ^= binary.LittleEndian.Uint64(h.buf[i*8:])
+	}
+	keccakF1600(&h.state)
+	h.bufLen = 0
+}
+
+// Sum appends the current hash to b and returns the resulting slice. It
+// does not change the underlying hash state.
+func (h *Hasher) Sum(b []byte) []byte {
+	// Copy the state so Sum can be called repeatedly / interleaved with
+	// further writes.
+	dup := *h
+	// Multi-rate padding with the legacy Keccak domain byte 0x01.
+	dup.buf[dup.bufLen] = 0x01
+	for i := dup.bufLen + 1; i < rate256; i++ {
+		dup.buf[i] = 0
+	}
+	dup.buf[rate256-1] |= 0x80
+	dup.bufLen = rate256
+	dup.absorbBlock()
+
+	var out [Size]byte
+	for i := 0; i < Size/8; i++ {
+		binary.LittleEndian.PutUint64(out[i*8:], dup.state[i])
+	}
+	return append(b, out[:]...)
+}
+
+// Reset resets the hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.state = [25]uint64{}
+	h.bufLen = 0
+}
+
+// Size returns the number of bytes Sum will produce (32).
+func (h *Hasher) Size() int { return Size }
+
+// BlockSize returns the sponge rate in bytes (136).
+func (h *Hasher) BlockSize() int { return rate256 }
+
+// Sum256 returns the Keccak-256 digest of data.
+func Sum256(data []byte) [Size]byte {
+	h := New()
+	h.Write(data) //nolint:errcheck // Write never fails
+	var out [Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Sum256Concat returns the Keccak-256 digest of the concatenation of the
+// given byte slices without building an intermediate buffer.
+func Sum256Concat(parts ...[]byte) [Size]byte {
+	h := New()
+	for _, p := range parts {
+		h.Write(p) //nolint:errcheck // Write never fails
+	}
+	var out [Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

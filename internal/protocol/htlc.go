@@ -1,0 +1,328 @@
+package protocol
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"tinyevm/internal/contracts"
+	"tinyevm/internal/keccak"
+	"tinyevm/internal/types"
+)
+
+// Multi-hop payment routing — the paper's stated future work ("we will
+// investigate the feasibility of payment networks and payment routing
+// algorithms on low-power IoT devices") built from the hash-lock
+// primitive its background section describes: "A hash-lock requires the
+// revealing of the pre-image of a secret hash value to consider a
+// payment as valid."
+//
+// The construction is the classic HTLC route: for a payment A -> B -> C,
+// the final receiver C generates a secret and publishes its hash H. A
+// sends B a conditional payment locked on H (amount + B's forwarding
+// fee), B sends C a conditional payment locked on the same H, C claims
+// from B by revealing the secret, and B uses the now-public secret to
+// claim from A. Either every hop settles or none does.
+
+// HTLC errors.
+var (
+	ErrNoPendingHTLC   = errors.New("protocol: no pending conditional payment")
+	ErrWrongPreimage   = errors.New("protocol: preimage does not match hash lock")
+	ErrHTLCOutstanding = errors.New("protocol: channel has an outstanding conditional payment")
+	ErrRouteTooShort   = errors.New("protocol: route needs at least two hops")
+	ErrRouteChannels   = errors.New("protocol: route/channel count mismatch")
+)
+
+// Secret is a hash-lock preimage.
+type Secret [32]byte
+
+// NewSecret draws a random preimage and returns it with its hash lock.
+func NewSecret() (Secret, types.Hash, error) {
+	var s Secret
+	if _, err := rand.Read(s[:]); err != nil {
+		return s, types.Hash{}, fmt.Errorf("protocol: generating secret: %w", err)
+	}
+	return s, types.HashData(s[:]), nil
+}
+
+// Lock returns the hash lock of a secret.
+func (s Secret) Lock() types.Hash { return types.HashData(s[:]) }
+
+// PayConditional sends a hash-locked payment: the state advance only
+// becomes claimable when the receiver presents the preimage of lock.
+// The sender's cumulative/seq do not advance until the claim.
+func (p *Party) PayConditional(channelID, amount uint64, lock types.Hash) (*Payment, error) {
+	cs, ok := p.channels[channelID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+	}
+	if cs.Closed() {
+		return nil, ErrChannelClosed
+	}
+	if cs.PendingHTLC != nil {
+		return nil, ErrHTLCOutstanding
+	}
+	if cs.Cumulative+amount > cs.Deposit {
+		return nil, fmt.Errorf("%w: %d + %d > %d", ErrExceedsDeposit, cs.Cumulative, amount, cs.Deposit)
+	}
+
+	pay := &Payment{
+		Template:    cs.Template,
+		Channel:     cs.Addr,
+		ChannelID:   cs.WireID,
+		Seq:         cs.Seq + 1,
+		Cumulative:  cs.Cumulative + amount,
+		SensorValue: cs.SensorValue,
+		HashLock:    lock,
+	}
+	p.Dev.SetPhase("sign conditional payment")
+	p.chargeKeccak(1, "payment digest")
+	sig, err := p.Dev.Crypto.Sign(pay.Digest())
+	p.Dev.SetPhase("")
+	if err != nil {
+		return nil, err
+	}
+	pay.Sig = sig
+	cs.PendingHTLC = pay
+
+	if _, err := p.Radio.Send(cs.Peer, EncodePayment(pay)); err != nil {
+		return nil, err
+	}
+	return pay, nil
+}
+
+// ReceiveConditional pops and verifies a pending hash-locked payment.
+// The channel state does not advance until ClaimConditional.
+func (p *Party) ReceiveConditional() (*Payment, error) {
+	msg, ok := p.Radio.Receive()
+	if !ok {
+		return nil, fmt.Errorf("%w: inbox empty", ErrBadMessage)
+	}
+	pay, err := DecodePayment(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if pay.HashLock.IsZero() {
+		return nil, fmt.Errorf("%w: expected a hash-locked payment", ErrBadMessage)
+	}
+	cs, ok := p.channelByWire(pay.Template, pay.ChannelID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, pay.ChannelID)
+	}
+	if cs.PendingHTLC != nil {
+		return nil, ErrHTLCOutstanding
+	}
+	if pay.Seq != cs.Seq+1 {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadSeq, pay.Seq, cs.Seq+1)
+	}
+	if pay.Cumulative < cs.Cumulative || pay.Cumulative > cs.Deposit {
+		return nil, fmt.Errorf("%w: cumulative %d", ErrExceedsDeposit, pay.Cumulative)
+	}
+	p.chargeKeccak(1, "payment digest")
+	if pay.Sig == nil || !p.Dev.Crypto.Verify(pay.Digest(), pay.Sig, cs.Peer) {
+		return nil, ErrBadSigner
+	}
+	cs.PendingHTLC = pay
+	return pay, nil
+}
+
+// ClaimConditional resolves a pending inbound hash-locked payment by
+// revealing the preimage to the sender, and finalizes the state locally.
+// channelID is this party's local handle.
+func (p *Party) ClaimConditional(channelID uint64, secret Secret) (*Payment, error) {
+	cs, ok := p.channels[channelID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+	}
+	return p.claimOn(cs, secret)
+}
+
+// ClaimReceived resolves a pending inbound hash-locked payment
+// identified by the payment message itself (wire identity); routing uses
+// it because local handles differ between the two ends of a channel.
+func (p *Party) ClaimReceived(pay *Payment, secret Secret) (*Payment, error) {
+	cs, ok := p.channelByWire(pay.Template, pay.ChannelID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, pay.ChannelID)
+	}
+	return p.claimOn(cs, secret)
+}
+
+func (p *Party) claimOn(cs *ChannelState, secret Secret) (*Payment, error) {
+	pay := cs.PendingHTLC
+	if pay == nil {
+		return nil, ErrNoPendingHTLC
+	}
+	p.chargeKeccak(1, "hash lock check")
+	if secret.Lock() != pay.HashLock {
+		return nil, ErrWrongPreimage
+	}
+
+	claim := &HTLCClaim{Template: cs.Template, ChannelID: cs.WireID, Seq: pay.Seq, Preimage: secret}
+	if _, err := p.Radio.Send(cs.Peer, EncodeHTLCClaim(claim)); err != nil {
+		return nil, err
+	}
+
+	p.finalizeHTLC(cs, pay, secret)
+	return pay, nil
+}
+
+// AcceptClaim pops the preimage revelation on the sender side and
+// finalizes the conditional payment.
+func (p *Party) AcceptClaim() (*Payment, error) {
+	msg, ok := p.Radio.Receive()
+	if !ok {
+		return nil, fmt.Errorf("%w: inbox empty", ErrBadMessage)
+	}
+	claim, err := DecodeHTLCClaim(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	cs, ok := p.channelByWire(claim.Template, claim.ChannelID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, claim.ChannelID)
+	}
+	pay := cs.PendingHTLC
+	if pay == nil || pay.Seq != claim.Seq {
+		return nil, ErrNoPendingHTLC
+	}
+	p.chargeKeccak(1, "hash lock check")
+	if claim.Preimage.Lock() != pay.HashLock {
+		return nil, ErrWrongPreimage
+	}
+	p.finalizeHTLC(cs, pay, claim.Preimage)
+	return pay, nil
+}
+
+// CancelConditional drops a pending HTLC by mutual bookkeeping (e.g.
+// after a route failed downstream). Both sides call it locally.
+func (p *Party) CancelConditional(channelID uint64) error {
+	cs, ok := p.channels[channelID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+	}
+	if cs.PendingHTLC == nil {
+		return ErrNoPendingHTLC
+	}
+	cs.PendingHTLC = nil
+	return nil
+}
+
+// finalizeHTLC converts a pending conditional payment into accepted
+// channel state and records it (contract register + side-chain log).
+func (p *Party) finalizeHTLC(cs *ChannelState, pay *Payment, secret Secret) {
+	p.Dev.SetPhase("register payment")
+	reg := p.Dev.Call(cs.Addr, contracts.RegisterCalldata(pay.Seq, pay.Cumulative), 0)
+	_ = reg // registration failure on the mirror contract is non-fatal
+	p.chargeKeccak(1, "side-chain log link")
+	p.Log.Append(LogPayment, pay.ChannelID, pay.Seq, pay.Cumulative)
+	p.Dev.SetPhase("")
+
+	cs.Seq = pay.Seq
+	cs.Cumulative = pay.Cumulative
+	cs.LastPayment = pay
+	cs.PendingHTLC = nil
+	cs.LastPreimage = secret
+}
+
+// --- routing ------------------------------------------------------------
+
+// RouteHop pairs a party with the channel it uses toward the next hop.
+type RouteHop struct {
+	// From pays over ChannelID to the next party in the route.
+	From      *Party
+	ChannelID uint64
+}
+
+// RoutePayment executes an atomic multi-hop payment along the route:
+// route[i] pays route[i+1]'s party over route[i].ChannelID. The final
+// receiver generates the secret; conditional payments propagate forward
+// carrying (amount + remaining hops * hopFee), then the preimage
+// propagates backward, claiming each hop. Intermediaries earn hopFee
+// each.
+func RoutePayment(route []RouteHop, receiver *Party, amount, hopFee uint64) (types.Hash, error) {
+	if len(route) < 1 {
+		return types.Hash{}, ErrRouteTooShort
+	}
+
+	secret, lock, err := NewSecret()
+	if err != nil {
+		return types.Hash{}, err
+	}
+
+	// Forward pass: lock conditional payments. The first sender carries
+	// every intermediary's fee.
+	parties := make([]*Party, 0, len(route)+1)
+	for _, h := range route {
+		parties = append(parties, h.From)
+	}
+	parties = append(parties, receiver)
+
+	received := make([]*Payment, len(route))
+	for i, hop := range route {
+		hopAmount := amount + uint64(len(route)-1-i)*hopFee
+		if _, err := hop.From.PayConditional(hop.ChannelID, hopAmount, lock); err != nil {
+			return lock, fmt.Errorf("hop %d lock: %w", i, err)
+		}
+		pay, err := parties[i+1].ReceiveConditional()
+		if err != nil {
+			return lock, fmt.Errorf("hop %d receive: %w", i, err)
+		}
+		received[i] = pay
+	}
+
+	// Backward pass: reveal the preimage, claiming hop by hop.
+	for i := len(route) - 1; i >= 0; i-- {
+		if _, err := parties[i+1].ClaimReceived(received[i], secret); err != nil {
+			return lock, fmt.Errorf("hop %d claim: %w", i, err)
+		}
+		if _, err := route[i].From.AcceptClaim(); err != nil {
+			return lock, fmt.Errorf("hop %d accept: %w", i, err)
+		}
+	}
+	return lock, nil
+}
+
+// HTLCClaim is the preimage revelation message.
+type HTLCClaim struct {
+	// Template and ChannelID form the channel's wire identity.
+	Template  types.Address
+	ChannelID uint64
+	Seq       uint64
+	Preimage  Secret
+}
+
+// EncodeHTLCClaim serializes a MsgHTLCClaim payload.
+func EncodeHTLCClaim(c *HTLCClaim) []byte {
+	e := &encoder{}
+	e.u8(byte(MsgHTLCClaim))
+	e.addr(c.Template)
+	e.u64(c.ChannelID)
+	e.u64(c.Seq)
+	e.buf = append(e.buf, c.Preimage[:]...)
+	return e.buf
+}
+
+// DecodeHTLCClaim parses a MsgHTLCClaim payload.
+func DecodeHTLCClaim(buf []byte) (*HTLCClaim, error) {
+	d := &decoder{buf: buf}
+	if MsgType(d.u8()) != MsgHTLCClaim {
+		return nil, ErrBadMsgType
+	}
+	out := &HTLCClaim{Template: d.addr(), ChannelID: d.u64(), Seq: d.u64()}
+	if !d.need(32) {
+		return nil, ErrBadMessage
+	}
+	copy(out.Preimage[:], d.buf[d.off:])
+	d.off += 32
+	if d.err != nil {
+		return nil, d.err
+	}
+	return out, nil
+}
+
+// PreimageHash returns the hash lock of a preimage (keccak-256); the
+// on-chain template uses it when validating hash-locked commits.
+func PreimageHash(preimage Secret) types.Hash {
+	return types.Hash(keccak.Sum256(preimage[:]))
+}

@@ -1,0 +1,594 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/contracts"
+	"tinyevm/internal/device"
+	"tinyevm/internal/radio"
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+// Party errors.
+var (
+	ErrNoChannel      = errors.New("protocol: unknown channel")
+	ErrBadSeq         = errors.New("protocol: sequence number out of order")
+	ErrBadSigner      = errors.New("protocol: payment signed by wrong party")
+	ErrDecreasing     = errors.New("protocol: cumulative amount decreased")
+	ErrChannelClosed  = errors.New("protocol: channel already closed")
+	ErrExceedsDeposit = errors.New("protocol: payment exceeds channel deposit")
+)
+
+// Role distinguishes the paying and the paid side of a channel.
+type Role uint8
+
+// Channel roles.
+const (
+	// RoleSender pays (the smart car).
+	RoleSender Role = iota + 1
+	// RoleReceiver is paid (the parking sensor).
+	RoleReceiver
+)
+
+// ChannelKey is a channel's globally unique wire identity: the on-chain
+// template it settles against plus that template's logical-clock value.
+// Logical clocks are only unique per template, so nodes participating in
+// multiple templates (payment routing) key their tables by this pair.
+type ChannelKey struct {
+	Template types.Address
+	ID       uint64
+}
+
+// ChannelState is one party's local view of an off-chain channel.
+type ChannelState struct {
+	// ID is this party's local handle for the channel (what the Party
+	// methods take). It usually equals WireID but is remapped when two
+	// templates' logical clocks collide.
+	ID uint64
+	// WireID is the template's logical-clock identifier carried in
+	// every message and used for on-chain commits.
+	WireID uint64
+	// Template is the on-chain template this channel settles against.
+	Template types.Address
+	// Addr is the on-device channel contract address.
+	Addr types.Address
+	// Peer is the counterparty's address.
+	Peer types.Address
+	// Role is this party's side.
+	Role Role
+	// Deposit is the channel's locked amount.
+	Deposit uint64
+	// Seq is the latest sequence number seen.
+	Seq uint64
+	// Cumulative is the latest cumulative amount.
+	Cumulative uint64
+	// LastPayment is the most recent signed payment.
+	LastPayment *Payment
+	// PendingHTLC is an outstanding conditional (hash-locked) payment.
+	PendingHTLC *Payment
+	// LastPreimage is the most recently revealed hash-lock preimage.
+	LastPreimage Secret
+	// Final is the doubly-signed close state, once closed.
+	Final *FinalState
+	// SensorValue is the constructor's sensor reading.
+	SensorValue uint64
+}
+
+// Closed reports whether the channel has a signed final state.
+func (cs *ChannelState) Closed() bool { return cs.Final != nil }
+
+// Party is one protocol participant: a device plus its radio endpoint,
+// local template copy, side-chain log and channel table.
+type Party struct {
+	// Dev is the underlying simulated node.
+	Dev *device.Device
+	// Radio is the TSCH endpoint.
+	Radio *radio.Endpoint
+	// OnChainTemplate is the address of the chain-side template.
+	OnChainTemplate types.Address
+	// LocalTemplate is the device-side template contract copy
+	// ("Smart Contract Local Copy", Figure 2).
+	LocalTemplate types.Address
+	// Log is the local side-chain log.
+	Log *SideChain
+
+	channels  map[uint64]*ChannelState
+	wireIndex map[ChannelKey]uint64
+}
+
+// NewParty wires a device into the protocol: it deploys the local
+// template copy on the device and anchors the side-chain log at the
+// on-chain template address.
+func NewParty(dev *device.Device, ep *radio.Endpoint, onChainTemplate types.Address, provider types.Address) (*Party, error) {
+	res := dev.Deploy(contracts.TemplateInitCode(provider), 0)
+	if res.Err != nil {
+		return nil, fmt.Errorf("protocol: deploying local template: %w", res.Err)
+	}
+	anchor := types.HashConcat([]byte("tinyevm-template-anchor"), onChainTemplate[:])
+	return &Party{
+		Dev:             dev,
+		Radio:           ep,
+		OnChainTemplate: onChainTemplate,
+		LocalTemplate:   res.Address,
+		Log:             NewSideChain(anchor),
+		channels:        make(map[uint64]*ChannelState),
+		wireIndex:       make(map[ChannelKey]uint64),
+	}, nil
+}
+
+// registerChannel stores a channel under a collision-free local handle
+// and indexes its wire identity. It returns the handle.
+func (p *Party) registerChannel(cs *ChannelState) uint64 {
+	handle := cs.WireID
+	for {
+		if _, taken := p.channels[handle]; !taken {
+			break
+		}
+		handle += 1 << 32 // move collisions far out of the wire-id range
+	}
+	cs.ID = handle
+	p.channels[handle] = cs
+	p.wireIndex[ChannelKey{Template: cs.Template, ID: cs.WireID}] = handle
+	return handle
+}
+
+// channelByWire resolves a wire identity to the local channel state.
+func (p *Party) channelByWire(template types.Address, wireID uint64) (*ChannelState, bool) {
+	handle, ok := p.wireIndex[ChannelKey{Template: template, ID: wireID}]
+	if !ok {
+		return nil, false
+	}
+	cs, ok := p.channels[handle]
+	return cs, ok
+}
+
+// Address returns the party's device address.
+func (p *Party) Address() types.Address { return p.Dev.Address() }
+
+// chargeKeccak books the software Keccak-256 time for protocol digest
+// and side-chain log hashing: the host computes the hashes, the device
+// clock pays the Table V latency (5 ms each).
+func (p *Party) chargeKeccak(n int, label string) {
+	p.Dev.SpendCPU(time.Duration(n)*device.KeccakSoftwareTime, label)
+}
+
+// Channel returns the local state of a channel.
+func (p *Party) Channel(id uint64) (*ChannelState, bool) {
+	cs, ok := p.channels[id]
+	return cs, ok
+}
+
+// SendSensorData reads the given sensors and transmits the readings to
+// the peer, hashing the payload on the crypto engine (SHA-256, 1 ms).
+func (p *Party) SendSensorData(peer types.Address, sensorIDs ...uint64) (*SensorData, error) {
+	data := &SensorData{From: p.Address()}
+	for _, id := range sensorIDs {
+		v, err := p.Dev.Sensors.Sense(id, 0)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: reading sensor 0x%x: %w", id, err)
+		}
+		data.Readings = append(data.Readings, SensorReading{ID: id, Value: v})
+	}
+	payload := EncodeSensorData(data)
+	p.Dev.Crypto.SHA256(payload) // integrity digest, HW engine
+	if _, err := p.Radio.Send(peer, payload); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// ReceiveSensorData pops and decodes a pending sensor-data message.
+func (p *Party) ReceiveSensorData() (*SensorData, error) {
+	msg, ok := p.Radio.Receive()
+	if !ok {
+		return nil, fmt.Errorf("%w: inbox empty", ErrBadMessage)
+	}
+	return DecodeSensorData(msg.Payload)
+}
+
+// OpenChannel executes the local template to create an off-chain payment
+// channel funded with deposit, then announces it to the peer. This is
+// the sender-side (smart car) operation of phase 2.
+func (p *Party) OpenChannel(peer types.Address, deposit uint64, sensorParam uint64) (*ChannelState, error) {
+	p.Dev.SetPhase("create channel")
+	defer p.Dev.SetPhase("")
+
+	res := p.Dev.Call(p.LocalTemplate, contracts.CreateChannelCalldata(sensorParam), deposit)
+	if res.Err != nil {
+		return nil, fmt.Errorf("protocol: createPaymentChannel: %w", res.Err)
+	}
+	chAddr := contracts.WordToAddress(res.ReturnData)
+
+	// The channel id is the template's logical clock after creation.
+	clk := p.Dev.Call(p.LocalTemplate, contracts.Calldata(contracts.SigLogicalClock), 0)
+	if clk.Err != nil {
+		return nil, clk.Err
+	}
+	var w uint256.Int
+	w.SetBytes(clk.ReturnData)
+	id := w.Uint64()
+
+	// Read back the constructor's sensor value.
+	sv := p.Dev.Call(chAddr, contracts.Calldata(contracts.SigSensorData), 0)
+	if sv.Err != nil {
+		return nil, sv.Err
+	}
+	w.SetBytes(sv.ReturnData)
+
+	cs := &ChannelState{
+		WireID:      id,
+		Template:    p.OnChainTemplate,
+		Addr:        chAddr,
+		Peer:        peer,
+		Role:        RoleSender,
+		Deposit:     deposit,
+		SensorValue: w.Uint64(),
+	}
+	p.registerChannel(cs)
+	p.Log.Append(LogOpen, id, 0, 0)
+
+	open := &ChannelOpen{
+		Template:    p.OnChainTemplate,
+		Channel:     chAddr,
+		ChannelID:   id,
+		Deposit:     deposit,
+		SensorValue: cs.SensorValue,
+	}
+	if _, err := p.Radio.Send(peer, EncodeChannelOpen(open)); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// AcceptChannel processes a pending MsgChannelOpen: the receiver
+// replicates the channel by executing its own local template copy
+// ("Both entities execute the bytecode of the template to generate an
+// off-chain payment channel").
+func (p *Party) AcceptChannel() (*ChannelState, error) {
+	msg, ok := p.Radio.Receive()
+	if !ok {
+		return nil, fmt.Errorf("%w: inbox empty", ErrBadMessage)
+	}
+	open, err := DecodeChannelOpen(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	p.Dev.SetPhase("create channel")
+	res := p.Dev.Call(p.LocalTemplate, contracts.CreateChannelCalldata(open.SensorValue), 0)
+	p.Dev.SetPhase("")
+	if res.Err != nil {
+		return nil, fmt.Errorf("protocol: replicating channel: %w", res.Err)
+	}
+
+	cs := &ChannelState{
+		WireID:      open.ChannelID,
+		Template:    open.Template,
+		Addr:        contracts.WordToAddress(res.ReturnData),
+		Peer:        msg.From,
+		Role:        RoleReceiver,
+		Deposit:     open.Deposit,
+		SensorValue: open.SensorValue,
+	}
+	p.registerChannel(cs)
+	p.Log.Append(LogOpen, open.ChannelID, 0, 0)
+	return cs, nil
+}
+
+// Pay sends an off-chain payment of `amount` over the channel: it bumps
+// the sequence number, signs the cumulative state on the crypto engine,
+// registers the state on the local channel contract (the side-chain
+// register step of Figure 5) and transmits the signed payment.
+func (p *Party) Pay(channelID uint64, amount uint64) (*Payment, error) {
+	cs, ok := p.channels[channelID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+	}
+	if cs.Closed() {
+		return nil, ErrChannelClosed
+	}
+	if cs.Cumulative+amount > cs.Deposit {
+		return nil, fmt.Errorf("%w: %d + %d > %d", ErrExceedsDeposit, cs.Cumulative, amount, cs.Deposit)
+	}
+
+	pay := &Payment{
+		Template:    cs.Template,
+		Channel:     cs.Addr,
+		ChannelID:   cs.WireID,
+		Seq:         cs.Seq + 1,
+		Cumulative:  cs.Cumulative + amount,
+		SensorValue: cs.SensorValue,
+	}
+	p.Dev.SetPhase("sign payment")
+	p.chargeKeccak(1, "payment digest")
+	sig, err := p.Dev.Crypto.Sign(pay.Digest())
+	p.Dev.SetPhase("")
+	if err != nil {
+		return nil, err
+	}
+	pay.Sig = sig
+
+	// Register the state on the local channel contract and extend the
+	// hash-linked side-chain log (Figure 5's "register the payment on
+	// the side-chain" step).
+	p.Dev.SetPhase("register payment")
+	reg := p.Dev.Call(cs.Addr, contracts.RegisterCalldata(pay.Seq, pay.Cumulative), 0)
+	if reg.Err != nil {
+		p.Dev.SetPhase("")
+		return nil, fmt.Errorf("protocol: registering payment: %w", reg.Err)
+	}
+	p.chargeKeccak(1, "side-chain log link")
+	p.Log.Append(LogPayment, cs.WireID, pay.Seq, pay.Cumulative)
+	p.Dev.SetPhase("")
+
+	if _, err := p.Radio.Send(cs.Peer, EncodePayment(pay)); err != nil {
+		return nil, err
+	}
+	cs.Seq = pay.Seq
+	cs.Cumulative = pay.Cumulative
+	cs.LastPayment = pay
+	return pay, nil
+}
+
+// ReceivePayment pops, verifies and records a pending MsgPayment. The
+// signature is checked on the crypto engine; the sequence number must be
+// exactly the successor of the last seen one ("the sequence number ...
+// ensures that no device skips reporting any transactions").
+func (p *Party) ReceivePayment() (*Payment, error) {
+	msg, ok := p.Radio.Receive()
+	if !ok {
+		return nil, fmt.Errorf("%w: inbox empty", ErrBadMessage)
+	}
+	pay, err := DecodePayment(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	cs, ok := p.channelByWire(pay.Template, pay.ChannelID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, pay.ChannelID)
+	}
+	if cs.Closed() {
+		return nil, ErrChannelClosed
+	}
+	if pay.Seq != cs.Seq+1 {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadSeq, pay.Seq, cs.Seq+1)
+	}
+	if pay.Cumulative < cs.Cumulative {
+		return nil, fmt.Errorf("%w: %d < %d", ErrDecreasing, pay.Cumulative, cs.Cumulative)
+	}
+	if pay.Cumulative > cs.Deposit {
+		return nil, fmt.Errorf("%w: %d > %d", ErrExceedsDeposit, pay.Cumulative, cs.Deposit)
+	}
+	p.chargeKeccak(1, "payment digest")
+	if pay.Sig == nil || !p.Dev.Crypto.Verify(pay.Digest(), pay.Sig, cs.Peer) {
+		return nil, ErrBadSigner
+	}
+
+	// Mirror the state into the local channel contract and log.
+	p.Dev.SetPhase("register payment")
+	reg := p.Dev.Call(cs.Addr, contracts.RegisterCalldata(pay.Seq, pay.Cumulative), 0)
+	if reg.Err != nil {
+		p.Dev.SetPhase("")
+		return nil, fmt.Errorf("protocol: registering payment: %w", reg.Err)
+	}
+	p.chargeKeccak(1, "side-chain log link")
+	p.Log.Append(LogPayment, pay.ChannelID, pay.Seq, pay.Cumulative)
+	p.Dev.SetPhase("")
+
+	cs.Seq = pay.Seq
+	cs.Cumulative = pay.Cumulative
+	cs.LastPayment = pay
+	return pay, nil
+}
+
+// CloseChannel builds the final state and sends it to the peer for
+// countersigning. When the caller is the sender and payments exist, the
+// final state IS the last signed payment ("A node can report either the
+// payment or the final state of the channel, which aggregates all other
+// previous payments"), so no additional signature is produced — the
+// paper's round signs once. A party closing with no payments signs a
+// fresh zero-cumulative state.
+func (p *Party) CloseChannel(channelID uint64) (*FinalState, error) {
+	cs, ok := p.channels[channelID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+	}
+	if cs.Closed() {
+		return nil, ErrChannelClosed
+	}
+
+	var fs *FinalState
+	if cs.Role == RoleSender && cs.LastPayment != nil {
+		fs = FinalStateFromPayment(cs.LastPayment, p.Address(), cs.Peer)
+	} else {
+		fs = &FinalState{
+			Template:    cs.Template,
+			Channel:     cs.Addr,
+			Sender:      p.Address(),
+			Receiver:    cs.Peer,
+			ChannelID:   cs.WireID,
+			Seq:         cs.Seq + 1,
+			Cumulative:  cs.Cumulative,
+			SensorValue: cs.SensorValue,
+		}
+		if cs.Role == RoleReceiver {
+			fs.Sender, fs.Receiver = cs.Peer, p.Address()
+		}
+		p.Dev.SetPhase("sign final state")
+		p.chargeKeccak(1, "final state digest")
+		sig, err := p.Dev.Crypto.Sign(fs.Digest())
+		p.Dev.SetPhase("")
+		if err != nil {
+			return nil, err
+		}
+		if cs.Role == RoleSender {
+			fs.SigSender = sig
+		} else {
+			fs.SigReceiver = sig
+		}
+	}
+	if _, err := p.Radio.Send(cs.Peer, EncodeFinalState(MsgCloseRequest, fs)); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// AcceptClose pops a MsgCloseRequest, verifies the peer's signature and
+// the state against local history, countersigns and replies with
+// MsgCloseAck. The channel is then closed on this side.
+func (p *Party) AcceptClose() (*FinalState, error) {
+	msg, ok := p.Radio.Receive()
+	if !ok {
+		return nil, fmt.Errorf("%w: inbox empty", ErrBadMessage)
+	}
+	t, fs, err := DecodeFinalState(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgCloseRequest {
+		return nil, ErrBadMsgType
+	}
+	cs, ok := p.channelByWire(fs.Template, fs.ChannelID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, fs.ChannelID)
+	}
+	if fs.Cumulative != cs.Cumulative {
+		return nil, fmt.Errorf("%w: final %d != local %d", ErrDecreasing, fs.Cumulative, cs.Cumulative)
+	}
+	// The close either references the last accepted payment state
+	// (same sequence number) or a fresh signed state beyond it.
+	if fs.Seq < cs.Seq {
+		return nil, fmt.Errorf("%w: final seq %d < %d", ErrBadSeq, fs.Seq, cs.Seq)
+	}
+
+	digest := fs.Digest()
+	// Verify the peer's signature (whichever side they are) — unless
+	// the close IS the last payment, whose signature this device
+	// already verified on its crypto engine.
+	alreadyVerified := cs.LastPayment != nil && cs.LastPayment.Sig != nil &&
+		digest == cs.LastPayment.Digest()
+	peerSig := fs.SigSender
+	if cs.Role == RoleSender {
+		peerSig = fs.SigReceiver
+	}
+	if peerSig == nil {
+		return nil, ErrBadSigner
+	}
+	if !alreadyVerified && !p.Dev.Crypto.Verify(digest, peerSig, cs.Peer) {
+		return nil, ErrBadSigner
+	}
+
+	p.Dev.SetPhase("sign final state")
+	sig, err := p.Dev.Crypto.Sign(digest)
+	p.Dev.SetPhase("")
+	if err != nil {
+		return nil, err
+	}
+	if cs.Role == RoleSender {
+		fs.SigSender = sig
+	} else {
+		fs.SigReceiver = sig
+	}
+
+	if err := fs.VerifySignatures(); err != nil {
+		return nil, err
+	}
+	cs.Final = fs
+	cs.Seq = fs.Seq
+	p.chargeKeccak(1, "side-chain log link")
+	p.Log.Append(LogClose, fs.ChannelID, fs.Seq, fs.Cumulative)
+
+	if _, err := p.Radio.Send(cs.Peer, EncodeFinalState(MsgCloseAck, fs)); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// FinishClose pops the MsgCloseAck on the initiating side and records
+// the fully signed final state.
+func (p *Party) FinishClose() (*FinalState, error) {
+	msg, ok := p.Radio.Receive()
+	if !ok {
+		return nil, fmt.Errorf("%w: inbox empty", ErrBadMessage)
+	}
+	t, fs, err := DecodeFinalState(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if t != MsgCloseAck {
+		return nil, ErrBadMsgType
+	}
+	cs, ok := p.channelByWire(fs.Template, fs.ChannelID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoChannel, fs.ChannelID)
+	}
+	if err := fs.VerifySignatures(); err != nil {
+		return nil, err
+	}
+	cs.Final = fs
+	cs.Seq = fs.Seq
+	p.chargeKeccak(1, "side-chain log link")
+	p.Log.Append(LogClose, fs.ChannelID, fs.Seq, fs.Cumulative)
+	return fs, nil
+}
+
+// Reopen clears a channel's closed state so payments can continue,
+// keeping the sequence number and cumulative amount. Combined with
+// CloseChannel this implements countersigned checkpoints — the paper's
+// "the channel allows the owner to send messages to update the status or
+// extend the lock-period". Both parties must reopen for the channel to
+// continue.
+func (p *Party) Reopen(channelID uint64) error {
+	cs, ok := p.channels[channelID]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+	}
+	if !cs.Closed() {
+		return nil
+	}
+	cs.Final = nil
+	return nil
+}
+
+// CommitOnChain submits a final state to the on-chain template as a
+// signed main-chain transaction (phase 3). The party must hold chain
+// funds for gas.
+func (p *Party) CommitOnChain(c *chain.Chain, fs *FinalState) (*chain.Receipt, error) {
+	p.Log.Append(LogCommit, fs.ChannelID, fs.Seq, fs.Cumulative)
+	target := fs.Template
+	tx := chain.NewTx(c.NonceOf(p.Address()), &target, 0, CommitTx(fs))
+	if err := tx.Sign(p.Dev.Key()); err != nil {
+		return nil, err
+	}
+	return c.SendTransaction(tx)
+}
+
+// DepositOnChain locks funds into the on-chain template.
+func (p *Party) DepositOnChain(c *chain.Chain, amount uint64) (*chain.Receipt, error) {
+	tx := chain.NewTx(c.NonceOf(p.Address()), &p.OnChainTemplate, amount, DepositTx())
+	if err := tx.Sign(p.Dev.Key()); err != nil {
+		return nil, err
+	}
+	return c.SendTransaction(tx)
+}
+
+// ExitOnChain starts the exit / challenge period.
+func (p *Party) ExitOnChain(c *chain.Chain) (*chain.Receipt, error) {
+	tx := chain.NewTx(c.NonceOf(p.Address()), &p.OnChainTemplate, 0, ExitTx())
+	if err := tx.Sign(p.Dev.Key()); err != nil {
+		return nil, err
+	}
+	return c.SendTransaction(tx)
+}
+
+// SettleOnChain dissolves the template after the challenge period.
+func (p *Party) SettleOnChain(c *chain.Chain) (*chain.Receipt, error) {
+	tx := chain.NewTx(c.NonceOf(p.Address()), &p.OnChainTemplate, 0, SettleTx())
+	if err := tx.Sign(p.Dev.Key()); err != nil {
+		return nil, err
+	}
+	return c.SendTransaction(tx)
+}

@@ -1,0 +1,232 @@
+package secp256k1
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+
+	"tinyevm/internal/types"
+)
+
+// Signature is an ECDSA signature over secp256k1 in Ethereum form:
+// (r, s) plus the recovery id v in {0, 1}. S is always normalized to the
+// lower half of the group order.
+type Signature struct {
+	R, S *big.Int
+	V    byte
+}
+
+// SignatureLength is the serialized length of a Signature (r||s||v).
+const SignatureLength = 65
+
+// Serialize encodes the signature as 65 bytes r||s||v.
+func (sig *Signature) Serialize() []byte {
+	out := make([]byte, SignatureLength)
+	sig.R.FillBytes(out[0:32])
+	sig.S.FillBytes(out[32:64])
+	out[64] = sig.V
+	return out
+}
+
+// ParseSignature decodes a 65-byte r||s||v signature and validates the
+// component ranges (0 < r,s < N; low-s; v in {0,1}).
+func ParseSignature(b []byte) (*Signature, error) {
+	if len(b) != SignatureLength {
+		return nil, fmt.Errorf("%w: need %d bytes, got %d", ErrInvalidSignature, SignatureLength, len(b))
+	}
+	r := new(big.Int).SetBytes(b[0:32])
+	s := new(big.Int).SetBytes(b[32:64])
+	v := b[64]
+	if r.Sign() <= 0 || r.Cmp(N) >= 0 || s.Sign() <= 0 || s.Cmp(N) >= 0 {
+		return nil, fmt.Errorf("%w: component out of range", ErrInvalidSignature)
+	}
+	if s.Cmp(halfN) > 0 {
+		return nil, fmt.Errorf("%w: s not normalized (high-s)", ErrInvalidSignature)
+	}
+	if v > 1 {
+		return nil, fmt.Errorf("%w: recovery id %d out of range", ErrInvalidSignature, v)
+	}
+	return &Signature{R: r, S: s, V: v}, nil
+}
+
+// rfc6979Nonce derives the deterministic ECDSA nonce k per RFC 6979 using
+// HMAC-SHA256, for the 256-bit curve order (qlen == hlen == 256 bits, so
+// bits2int is the identity on the hash).
+func rfc6979Nonce(d *big.Int, hash []byte) *big.Int {
+	q := N
+	x := make([]byte, 32)
+	d.FillBytes(x)
+
+	// bits2octets: reduce the hash mod q, then pad to 32 bytes.
+	h := new(big.Int).SetBytes(hash)
+	if h.Cmp(q) >= 0 {
+		h.Sub(h, q)
+	}
+	hBytes := make([]byte, 32)
+	h.FillBytes(hBytes)
+
+	v := make([]byte, 32)
+	k := make([]byte, 32)
+	for i := range v {
+		v[i] = 0x01
+	}
+
+	mac := hmac.New(sha256.New, k)
+	mac.Write(v)
+	mac.Write([]byte{0x00})
+	mac.Write(x)
+	mac.Write(hBytes)
+	k = mac.Sum(nil)
+
+	mac = hmac.New(sha256.New, k)
+	mac.Write(v)
+	v = mac.Sum(nil)
+
+	mac = hmac.New(sha256.New, k)
+	mac.Write(v)
+	mac.Write([]byte{0x01})
+	mac.Write(x)
+	mac.Write(hBytes)
+	k = mac.Sum(nil)
+
+	mac = hmac.New(sha256.New, k)
+	mac.Write(v)
+	v = mac.Sum(nil)
+
+	for {
+		mac = hmac.New(sha256.New, k)
+		mac.Write(v)
+		v = mac.Sum(nil)
+		candidate := new(big.Int).SetBytes(v)
+		if candidate.Sign() > 0 && candidate.Cmp(q) < 0 {
+			return candidate
+		}
+		mac = hmac.New(sha256.New, k)
+		mac.Write(v)
+		mac.Write([]byte{0x00})
+		k = mac.Sum(nil)
+		mac = hmac.New(sha256.New, k)
+		mac.Write(v)
+		v = mac.Sum(nil)
+	}
+}
+
+// Sign produces a deterministic (RFC 6979) low-s signature of the given
+// 32-byte digest.
+func (k *PrivateKey) Sign(hash types.Hash) (*Signature, error) {
+	z := new(big.Int).SetBytes(hash[:])
+	nonceHash := hash[:]
+	for attempt := 0; ; attempt++ {
+		kNonce := rfc6979Nonce(k.D, nonceHash)
+		rx, ry := scalarBaseMult(kNonce)
+		r := new(big.Int).Mod(rx, N)
+		if r.Sign() == 0 {
+			// Astronomically unlikely; re-derive with a tweaked message.
+			nonceHash = append(append([]byte{}, nonceHash...), byte(attempt))
+			continue
+		}
+		kInv := new(big.Int).ModInverse(kNonce, N)
+		s := new(big.Int).Mul(r, k.D)
+		s.Add(s, z)
+		s.Mul(s, kInv)
+		s.Mod(s, N)
+		if s.Sign() == 0 {
+			nonceHash = append(append([]byte{}, nonceHash...), byte(attempt))
+			continue
+		}
+		v := byte(ry.Bit(0))
+		// Normalize to low-s; flipping s mirrors the R point's parity.
+		if s.Cmp(halfN) > 0 {
+			s.Sub(N, s)
+			v ^= 1
+		}
+		return &Signature{R: r, S: s, V: v}, nil
+	}
+}
+
+// Verify reports whether sig is a valid signature of hash under pub.
+func Verify(pub *PublicKey, hash types.Hash, sig *Signature) bool {
+	if sig.R.Sign() <= 0 || sig.R.Cmp(N) >= 0 || sig.S.Sign() <= 0 || sig.S.Cmp(N) >= 0 {
+		return false
+	}
+	if !IsOnCurve(pub.X, pub.Y) {
+		return false
+	}
+	z := new(big.Int).SetBytes(hash[:])
+	sInv := new(big.Int).ModInverse(sig.S, N)
+	u1 := new(big.Int).Mul(z, sInv)
+	u1.Mod(u1, N)
+	u2 := new(big.Int).Mul(sig.R, sInv)
+	u2.Mod(u2, N)
+
+	p1 := newInfinity()
+	if u1.Sign() != 0 {
+		x1, y1 := scalarBaseMult(u1)
+		p1 = fromAffine(x1, y1)
+	}
+	x2, y2 := scalarMult(pub.X, pub.Y, u2)
+	sum := p1.add(fromAffine(x2, y2))
+	if sum.isInfinity() {
+		return false
+	}
+	sx, _ := sum.toAffine()
+	sx.Mod(sx, N)
+	return sx.Cmp(sig.R) == 0
+}
+
+// RecoverPublicKey recovers the signing public key from a signature and
+// the signed digest, the operation behind Ethereum's ecrecover.
+func RecoverPublicKey(hash types.Hash, sig *Signature) (*PublicKey, error) {
+	if sig.R.Sign() <= 0 || sig.R.Cmp(N) >= 0 || sig.S.Sign() <= 0 || sig.S.Cmp(N) >= 0 {
+		return nil, ErrInvalidSignature
+	}
+	if sig.V > 1 {
+		return nil, fmt.Errorf("%w: recovery id %d", ErrInvalidSignature, sig.V)
+	}
+	// R point x coordinate. (We ignore the r+N overflow case, which has
+	// probability ~2^-127 and no legitimate use.)
+	rx := new(big.Int).Set(sig.R)
+	if rx.Cmp(P) >= 0 {
+		return nil, ErrRecoveryFailed
+	}
+	ry, err := liftX(rx, sig.V == 1)
+	if err != nil {
+		return nil, ErrRecoveryFailed
+	}
+	// Q = r^-1 (s*R - z*G)
+	rInv := new(big.Int).ModInverse(sig.R, N)
+	z := new(big.Int).SetBytes(hash[:])
+
+	u1 := new(big.Int).Mul(z, rInv)
+	u1.Neg(u1)
+	u1.Mod(u1, N)
+	u2 := new(big.Int).Mul(sig.S, rInv)
+	u2.Mod(u2, N)
+
+	p1 := newInfinity()
+	if u1.Sign() != 0 {
+		x1, y1 := scalarBaseMult(u1)
+		p1 = fromAffine(x1, y1)
+	}
+	x2, y2 := scalarMult(rx, ry, u2)
+	q := p1.add(fromAffine(x2, y2))
+	if q.isInfinity() {
+		return nil, ErrRecoveryFailed
+	}
+	qx, qy := q.toAffine()
+	pub := &PublicKey{X: qx, Y: qy}
+	if !IsOnCurve(qx, qy) {
+		return nil, ErrRecoveryFailed
+	}
+	return pub, nil
+}
+
+// RecoverAddress recovers the Ethereum address that signed hash.
+func RecoverAddress(hash types.Hash, sig *Signature) (types.Address, error) {
+	pub, err := RecoverPublicKey(hash, sig)
+	if err != nil {
+		return types.Address{}, err
+	}
+	return pub.Address(), nil
+}

@@ -1,0 +1,393 @@
+package secp256k1
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"tinyevm/internal/types"
+)
+
+func TestGeneratorOnCurve(t *testing.T) {
+	if !IsOnCurve(Gx, Gy) {
+		t.Fatal("generator not on curve")
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	// N*G must be the point at infinity.
+	x, y := scalarBaseMult(N)
+	if x.Sign() != 0 || y.Sign() != 0 {
+		t.Fatalf("N*G != infinity: (%s, %s)", x, y)
+	}
+	// (N-1)*G must be -G (same x, negated y).
+	nm1 := new(big.Int).Sub(N, big.NewInt(1))
+	x, y = scalarBaseMult(nm1)
+	if x.Cmp(Gx) != 0 {
+		t.Fatalf("(N-1)*G x mismatch: %s", x)
+	}
+	negY := new(big.Int).Sub(P, Gy)
+	if y.Cmp(negY) != 0 {
+		t.Fatalf("(N-1)*G y mismatch: %s", y)
+	}
+}
+
+func TestScalarMultKnownVector(t *testing.T) {
+	// 2*G, a published curve vector.
+	x, y := scalarBaseMult(big.NewInt(2))
+	wantX := mustBig("c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5")
+	wantY := mustBig("1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a")
+	if x.Cmp(wantX) != 0 || y.Cmp(wantY) != 0 {
+		t.Fatalf("2*G = (%x, %x), want (%x, %x)", x, y, wantX, wantY)
+	}
+}
+
+func TestScalarMultDistributes(t *testing.T) {
+	// (a+b)*G == a*G + b*G for random scalars.
+	r := mrand.New(mrand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		a := new(big.Int).Rand(r, N)
+		b := new(big.Int).Rand(r, N)
+		sum := new(big.Int).Add(a, b)
+		sum.Mod(sum, N)
+
+		sx, sy := scalarBaseMult(sum)
+
+		ax, ay := scalarBaseMult(a)
+		bx, by := scalarBaseMult(b)
+		p := fromAffine(ax, ay).add(fromAffine(bx, by))
+		px, py := p.toAffine()
+
+		if sx.Cmp(px) != 0 || sy.Cmp(py) != 0 {
+			t.Fatalf("distributivity failed for a=%s b=%s", a, b)
+		}
+	}
+}
+
+func TestPointAddEdgeCases(t *testing.T) {
+	g := fromAffine(Gx, Gy)
+	inf := newInfinity()
+
+	// G + inf == G
+	r := g.add(inf)
+	x, y := r.toAffine()
+	if x.Cmp(Gx) != 0 || y.Cmp(Gy) != 0 {
+		t.Fatal("G + infinity != G")
+	}
+	// inf + G == G
+	r = inf.add(g)
+	x, y = r.toAffine()
+	if x.Cmp(Gx) != 0 || y.Cmp(Gy) != 0 {
+		t.Fatal("infinity + G != G")
+	}
+	// G + (-G) == inf
+	negG := fromAffine(Gx, new(big.Int).Sub(P, Gy))
+	r = g.add(negG)
+	if !r.isInfinity() {
+		t.Fatal("G + (-G) != infinity")
+	}
+	// G + G == double(G)
+	viaAdd := g.add(g)
+	viaDouble := g.double()
+	ax, ay := viaAdd.toAffine()
+	dx, dy := viaDouble.toAffine()
+	if ax.Cmp(dx) != 0 || ay.Cmp(dy) != 0 {
+		t.Fatal("G+G != 2G")
+	}
+}
+
+func TestKeyGeneration(t *testing.T) {
+	key, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsOnCurve(key.X, key.Y) {
+		t.Fatal("generated public key not on curve")
+	}
+	round, err := PrivateKeyFromBytes(key.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round.D.Cmp(key.D) != 0 {
+		t.Fatal("private key bytes round trip failed")
+	}
+}
+
+func TestNewPrivateKeyRejectsBadScalars(t *testing.T) {
+	for _, d := range []*big.Int{big.NewInt(0), new(big.Int).Set(N), new(big.Int).Add(N, big.NewInt(5))} {
+		if _, err := NewPrivateKey(d); err == nil {
+			t.Fatalf("NewPrivateKey(%s) should fail", d)
+		}
+	}
+	if _, err := NewPrivateKey(big.NewInt(1)); err != nil {
+		t.Fatalf("NewPrivateKey(1) failed: %v", err)
+	}
+}
+
+func TestDeterministicKeyStable(t *testing.T) {
+	a := DeterministicKey("parking-sensor-1")
+	b := DeterministicKey("parking-sensor-1")
+	if a.D.Cmp(b.D) != 0 {
+		t.Fatal("DeterministicKey not deterministic")
+	}
+	c := DeterministicKey("parking-sensor-2")
+	if a.D.Cmp(c.D) == 0 {
+		t.Fatal("distinct seeds gave identical keys")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	key := DeterministicKey("signer")
+	for i := 0; i < 10; i++ {
+		digest := types.HashData([]byte{byte(i), 0xaa})
+		sig, err := key.Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(&key.PublicKey, digest, sig) {
+			t.Fatalf("valid signature rejected (i=%d)", i)
+		}
+		// Tampered digest must fail.
+		bad := digest
+		bad[0] ^= 0xff
+		if Verify(&key.PublicKey, bad, sig) {
+			t.Fatal("signature verified against wrong digest")
+		}
+		// Tampered s must fail.
+		tampered := &Signature{R: sig.R, S: new(big.Int).Add(sig.S, big.NewInt(1)), V: sig.V}
+		if Verify(&key.PublicKey, digest, tampered) {
+			t.Fatal("tampered signature verified")
+		}
+	}
+}
+
+func TestSignDeterministic(t *testing.T) {
+	key := DeterministicKey("rfc6979")
+	digest := types.HashData([]byte("message"))
+	sig1, err := key.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := key.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig1.R.Cmp(sig2.R) != 0 || sig1.S.Cmp(sig2.S) != 0 || sig1.V != sig2.V {
+		t.Fatal("RFC6979 signing is not deterministic")
+	}
+}
+
+func TestLowS(t *testing.T) {
+	key := DeterministicKey("low-s-check")
+	for i := 0; i < 32; i++ {
+		digest := types.HashData([]byte{byte(i)})
+		sig, err := key.Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig.S.Cmp(halfN) > 0 {
+			t.Fatalf("signature %d has high s", i)
+		}
+	}
+}
+
+func TestRecover(t *testing.T) {
+	for _, seed := range []string{"a", "b", "vehicle-7", "parking-lot-3"} {
+		key := DeterministicKey(seed)
+		digest := types.HashData([]byte("recover " + seed))
+		sig, err := key.Sign(digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := RecoverPublicKey(digest, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pub.Equal(&key.PublicKey) {
+			t.Fatalf("recovered wrong key for seed %q", seed)
+		}
+		addr, err := RecoverAddress(digest, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addr != key.PublicKey.Address() {
+			t.Fatalf("recovered wrong address for seed %q", seed)
+		}
+	}
+}
+
+func TestRecoverRejectsWrongV(t *testing.T) {
+	key := DeterministicKey("flip-v")
+	digest := types.HashData([]byte("payload"))
+	sig, err := key.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := &Signature{R: sig.R, S: sig.S, V: sig.V ^ 1}
+	pub, err := RecoverPublicKey(digest, flipped)
+	if err == nil && pub.Equal(&key.PublicKey) {
+		t.Fatal("recovery with flipped v returned the true signer")
+	}
+}
+
+func TestSignatureSerializeRoundTrip(t *testing.T) {
+	key := DeterministicKey("serialize")
+	digest := types.HashData([]byte("round trip"))
+	sig, err := key.Sign(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := sig.Serialize()
+	if len(raw) != SignatureLength {
+		t.Fatalf("serialized length %d", len(raw))
+	}
+	parsed, err := ParseSignature(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.R.Cmp(sig.R) != 0 || parsed.S.Cmp(sig.S) != 0 || parsed.V != sig.V {
+		t.Fatal("signature round trip mismatch")
+	}
+}
+
+func TestParseSignatureRejectsGarbage(t *testing.T) {
+	if _, err := ParseSignature(make([]byte, 10)); err == nil {
+		t.Fatal("short signature accepted")
+	}
+	zero := make([]byte, SignatureLength)
+	if _, err := ParseSignature(zero); err == nil {
+		t.Fatal("all-zero signature accepted")
+	}
+	key := DeterministicKey("garbage")
+	digest := types.HashData([]byte("x"))
+	sig, _ := key.Sign(digest)
+	raw := sig.Serialize()
+	raw[64] = 7
+	if _, err := ParseSignature(raw); err == nil {
+		t.Fatal("bad recovery id accepted")
+	}
+	// High-s rejection.
+	highS := &Signature{R: sig.R, S: new(big.Int).Sub(N, sig.S), V: sig.V}
+	if _, err := ParseSignature(highS.Serialize()); err == nil {
+		t.Fatal("high-s signature accepted")
+	}
+}
+
+func TestPublicKeySerializeRoundTrip(t *testing.T) {
+	key := DeterministicKey("pubkey-encoding")
+
+	unc := key.PublicKey.SerializeUncompressed()
+	if len(unc) != 65 || unc[0] != 0x04 {
+		t.Fatalf("bad uncompressed encoding")
+	}
+	p1, err := ParsePublicKey(unc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(&key.PublicKey) {
+		t.Fatal("uncompressed round trip failed")
+	}
+
+	comp := key.PublicKey.SerializeCompressed()
+	if len(comp) != 33 {
+		t.Fatalf("bad compressed encoding")
+	}
+	p2, err := ParsePublicKey(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Equal(&key.PublicKey) {
+		t.Fatal("compressed round trip failed")
+	}
+
+	if _, err := ParsePublicKey([]byte{0x05, 1, 2}); err == nil {
+		t.Fatal("bad prefix accepted")
+	}
+	// Point off curve: tweak X of a valid encoding.
+	bad := bytes.Clone(unc)
+	bad[10] ^= 0xff
+	if _, err := ParsePublicKey(bad); err == nil {
+		t.Fatal("off-curve point accepted")
+	}
+}
+
+func TestAddressDerivationStable(t *testing.T) {
+	key := DeterministicKey("addr")
+	a1 := key.PublicKey.Address()
+	a2 := key.PublicKey.Address()
+	if a1 != a2 {
+		t.Fatal("address derivation unstable")
+	}
+	if a1.IsZero() {
+		t.Fatal("derived zero address")
+	}
+}
+
+// Property: sign-then-recover yields the signer's address for arbitrary
+// message bytes.
+func TestSignRecoverQuick(t *testing.T) {
+	key := DeterministicKey("quick-prop")
+	addr := key.PublicKey.Address()
+	f := func(msg []byte) bool {
+		digest := types.HashData(msg)
+		sig, err := key.Sign(digest)
+		if err != nil {
+			return false
+		}
+		got, err := RecoverAddress(digest, sig)
+		if err != nil {
+			return false
+		}
+		return got == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSign(b *testing.B) {
+	key := DeterministicKey("bench")
+	digest := types.HashData([]byte("benchmark payload"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.Sign(digest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	key := DeterministicKey("bench")
+	digest := types.HashData([]byte("benchmark payload"))
+	sig, err := key.Sign(digest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(&key.PublicKey, digest, sig) {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+func BenchmarkRecover(b *testing.B) {
+	key := DeterministicKey("bench")
+	digest := types.HashData([]byte("benchmark payload"))
+	sig, err := key.Sign(digest)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RecoverPublicKey(digest, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package tinyevm is a Go reproduction of "TinyEVM: Off-Chain Smart
+// Contracts on Low-Power IoT Devices" (Profentzas, Almgren, Landsiedel —
+// ICDCS 2020): a customized Ethereum Virtual Machine for
+// resource-constrained IoT nodes plus an off-chain payment-channel
+// protocol that settles on a main chain.
+//
+// The package is a façade over the internal implementation:
+//
+//   - System wires a simulated main chain, a TSCH low-power radio
+//     network and an on-chain template contract together.
+//   - Node is one IoT device: a CC2538-class MCU model with Energest
+//     energy accounting, a hardware crypto engine, a sensor/actuator bus
+//     and a TinyEVM executing standard EVM bytecode extended with the
+//     IoT opcode 0x0C.
+//   - Channels are opened by executing the factory template ON the
+//     device, payments are ECDSA-signed off-chain messages with
+//     logical-clock sequence numbers, and final states commit on-chain
+//     into a Merkle-sum tree with a challenge period.
+//
+// A minimal session:
+//
+//	sys, lot, _ := tinyevm.NewSystem(tinyevm.DefaultConfig(), "parking-lot")
+//	car, _ := sys.AddNode("smart-car")
+//	cs, _ := car.OpenChannel(lot.Address(), 10_000, 0)
+//	lot.AcceptChannel()
+//	car.Pay(cs.ID, 250)
+//	lot.ReceivePayment()
+//
+// See the examples directory for complete scenarios and cmd/benchtables
+// for the evaluation harness that regenerates the paper's tables and
+// figures.
+package tinyevm
+
+import (
+	"tinyevm/internal/asm"
+	"tinyevm/internal/contracts"
+	"tinyevm/internal/core"
+	"tinyevm/internal/device"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/types"
+)
+
+// Core nouns, re-exported from the assembled system.
+type (
+	// System is a full TinyEVM deployment: chain, radio network,
+	// template and nodes.
+	System = core.System
+	// Config parametrizes NewSystem.
+	Config = core.Config
+	// Node is one TinyEVM IoT node.
+	Node = core.Node
+	// Address is a 20-byte Ethereum-style address.
+	Address = types.Address
+	// Hash is a 32-byte Keccak-256 digest.
+	Hash = types.Hash
+	// ChannelState is a party's local view of an off-chain channel.
+	ChannelState = protocol.ChannelState
+	// Payment is one signed off-chain payment message.
+	Payment = protocol.Payment
+	// FinalState is a doubly-signed channel close.
+	FinalState = protocol.FinalState
+	// DeployResult describes an on-device contract deployment.
+	DeployResult = device.DeployResult
+	// CallResult describes an on-device contract call.
+	CallResult = device.CallResult
+	// EnergyReport is a Table IV style per-state energy breakdown.
+	EnergyReport = device.EnergyReport
+	// SensorFunc produces a sensor reading for the IoT opcode.
+	SensorFunc = device.SensorFunc
+	// RouteHop is one forwarding step of a multi-hop routed payment.
+	RouteHop = protocol.RouteHop
+	// Secret is a hash-lock preimage for conditional payments.
+	Secret = protocol.Secret
+)
+
+// Well-known sensor and actuator identifiers for the IoT opcode.
+const (
+	SensorTemperature = device.SensorTemperature
+	SensorOccupancy   = device.SensorOccupancy
+	SensorTime        = device.SensorTime
+	SensorDistance    = device.SensorDistance
+	SensorBattery     = device.SensorBattery
+	ActuatorBarrier   = device.ActuatorBarrier
+	ActuatorLED       = device.ActuatorLED
+)
+
+// NewSystem creates a chain + network + template deployment whose
+// provider node (the payment receiver) has the given name.
+func NewSystem(cfg Config, providerName string) (*System, *Node, error) {
+	return core.NewSystem(cfg, providerName)
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// PaymentChannelInitCode builds the paper's Listing 2 contract: a
+// payment channel whose constructor stores both parties and a sensor
+// reading taken through the IoT opcode.
+func PaymentChannelInitCode(sender, receiver Address, sensorID, sensorParam uint64) []byte {
+	return core.PaymentChannelInitCode(sender, receiver, sensorID, sensorParam)
+}
+
+// TemplateInitCode builds the paper's Listing 1 factory contract.
+func TemplateInitCode(receiver Address) []byte {
+	return core.TemplateInitCode(receiver)
+}
+
+// HexToAddress parses a 0x-prefixed 40-digit hex address.
+func HexToAddress(s string) (Address, error) { return types.HexToAddress(s) }
+
+// Assemble translates EVM assembly (mnemonics, labels, auto-sized PUSH,
+// the SENSOR IoT opcode) into bytecode.
+func Assemble(src string) ([]byte, error) { return asm.Assemble(src) }
+
+// Disassemble renders bytecode one instruction per line.
+func Disassemble(code []byte) string { return asm.Disassemble(code) }
+
+// Selector returns the Solidity-compatible 4-byte selector of a function
+// signature such as "close(uint256,bytes32,bytes32,uint8)".
+func Selector(sig string) [4]byte { return contracts.Selector(sig) }
+
+// Calldata builds selector-prefixed calldata from 32-byte word
+// arguments (shorter words are right-aligned).
+func Calldata(sig string, words ...[]byte) []byte { return contracts.Calldata(sig, words...) }
+
+// WordToAddress extracts an address from a 32-byte ABI return word.
+func WordToAddress(word []byte) Address { return contracts.WordToAddress(word) }
+
+// NewSecret draws a random hash-lock preimage and returns it with its
+// lock (keccak-256 of the preimage).
+func NewSecret() (Secret, Hash, error) { return protocol.NewSecret() }
+
+// RoutePayment executes an atomic multi-hop payment along route, ending
+// at receiver: conditional hash-locked payments propagate forward, the
+// receiver's preimage propagates backward claiming each hop.
+// Intermediaries earn hopFee each.
+func RoutePayment(route []RouteHop, receiver *Node, amount, hopFee uint64) (Hash, error) {
+	return protocol.RoutePayment(route, receiver.Party, amount, hopFee)
+}
