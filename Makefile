@@ -1,0 +1,30 @@
+# Targets mirror the CI steps (.github/workflows/ci.yml) so local and
+# CI invocations stay in sync.
+
+GO ?= go
+
+.PHONY: all build test lint bench bench-smoke
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+# Full benchmark run (paper tables use the published populations; slow).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# One iteration per benchmark plus the reduced paper tables — what the
+# CI bench-smoke job runs.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/benchtables -table 2 -n 300 -q
+	$(GO) run ./cmd/benchtables -engine -q

@@ -1,0 +1,3 @@
+module tinyevm
+
+go 1.22

@@ -254,28 +254,55 @@ func (c *Chain) Submit(tx *Transaction) error {
 	return nil
 }
 
-// MineBlock executes all pending transactions and seals a block. It
-// returns the receipts in execution order.
-func (c *Chain) MineBlock() []*Receipt {
+// Pending returns the number of queued transactions.
+func (c *Chain) Pending() int { return len(c.mempool) }
+
+// TakePending drains the mempool, returning the queued transactions in
+// submission order. Block producers (MineBlock, the parallel engine)
+// call it exactly once per block.
+func (c *Chain) TakePending() []*Transaction {
+	txs := c.mempool
+	c.mempool = nil
+	return txs
+}
+
+// NextBlockTemplate returns the header of the block being produced on
+// top of the current head. The template is not part of the chain until
+// SealBlock is called with it.
+func (c *Chain) NextBlockTemplate() *Block {
 	parent := c.Head()
-	block := &Block{
+	return &Block{
 		Number:     parent.Number + 1,
 		ParentHash: parent.Hash,
 		Timestamp:  parent.Timestamp + BlockInterval,
 		Coinbase:   c.coinbase,
 	}
+}
 
-	var receipts []*Receipt
-	for _, tx := range c.mempool {
-		r := c.applyTx(tx, block)
-		receipts = append(receipts, r)
+// SealBlock finalizes a template produced by NextBlockTemplate: it
+// accumulates gas and transaction hashes from the receipts (in order),
+// records the receipts, hashes the block and appends it to the chain.
+func (c *Chain) SealBlock(block *Block, receipts []*Receipt) {
+	for _, r := range receipts {
 		block.GasUsed += r.GasUsed
 		block.TxHashes = append(block.TxHashes, r.TxHash)
 		c.receipts[r.TxHash] = r
 	}
-	c.mempool = nil
 	block.Hash = blockHash(block)
 	c.blocks = append(c.blocks, block)
+}
+
+// MineBlock executes all pending transactions serially and seals a
+// block. It returns the receipts in execution order.
+func (c *Chain) MineBlock() []*Receipt {
+	block := c.NextBlockTemplate()
+	txs := c.TakePending()
+	receipts := make([]*Receipt, 0, len(txs))
+	for _, tx := range txs {
+		r, _ := c.ExecuteTx(c.state, block, tx)
+		receipts = append(receipts, r)
+	}
+	c.SealBlock(block, receipts)
 	return receipts
 }
 
@@ -289,10 +316,10 @@ func (c *Chain) SendTransaction(tx *Transaction) (*Receipt, error) {
 	return receipts[len(receipts)-1], nil
 }
 
-// newEVM builds a full-mode EVM bound to the chain state and the block
+// newEVM builds a full-mode EVM bound to the given state and the block
 // being produced.
-func (c *Chain) newEVM(block *Block, origin types.Address, gasPrice uint64) *evm.EVM {
-	vm := evm.New(evm.FullConfig(), c.state)
+func (c *Chain) newEVM(st evm.StateDB, block *Block, origin types.Address, gasPrice uint64) *evm.EVM {
+	vm := evm.New(evm.FullConfig(), st)
 	vm.Block = evm.BlockContext{
 		Coinbase:   block.Coinbase,
 		Number:     block.Number,
@@ -310,50 +337,77 @@ func (c *Chain) newEVM(block *Block, origin types.Address, gasPrice uint64) *evm
 	return vm
 }
 
-// applyTx validates and executes one transaction against the state.
-func (c *Chain) applyTx(tx *Transaction, block *Block) *Receipt {
+// ErrNativeNeedsChainState is returned when a native-contract call is
+// executed against a detached state view: native contracts run Go code
+// directly against the canonical chain state and cannot be speculated.
+var ErrNativeNeedsChainState = errors.New("chain: native contract requires canonical chain state")
+
+// IsNativeTx reports whether the transaction targets a native contract
+// (and therefore must execute on the canonical chain state).
+func (c *Chain) IsNativeTx(tx *Transaction) bool {
+	return tx.To != nil && c.IsNative(*tx.To)
+}
+
+// ExecuteTx validates and executes one transaction against st, which is
+// either the canonical chain state (the serial MineBlock path) or a
+// detached view of it (the parallel engine's speculative path). The
+// block supplies the execution context; the chain supplies read-only
+// context (native registry, sealed blocks for BLOCKHASH).
+//
+// The second return reports whether execution reached the EVM path —
+// the only path that snapshots st.Logs() into the receipt — so callers
+// replaying execution on a view can reconstruct the receipt's log slice
+// exactly as the serial path would have.
+func (c *Chain) ExecuteTx(st evm.StateDB, block *Block, tx *Transaction) (*Receipt, bool) {
 	r := &Receipt{TxHash: tx.Hash(), BlockNumber: block.Number}
 
 	sender, err := tx.Sender()
 	if err != nil {
 		r.Err = err
-		return r
+		return r, false
 	}
-	if c.state.Nonce(sender) != tx.Nonce {
-		r.Err = fmt.Errorf("%w: have %d, tx %d", ErrBadNonce, c.state.Nonce(sender), tx.Nonce)
-		return r
+	if st.Nonce(sender) != tx.Nonce {
+		r.Err = fmt.Errorf("%w: have %d, tx %d", ErrBadNonce, st.Nonce(sender), tx.Nonce)
+		return r, false
 	}
 	intrinsic := uint64(IntrinsicGas) + uint64(len(tx.Data))*DataGasPerByte
 	if tx.GasLimit < intrinsic {
 		r.Err = fmt.Errorf("%w: limit %d < intrinsic %d", ErrInsufficientGas, tx.GasLimit, intrinsic)
-		return r
+		return r, false
 	}
 	// Buy gas.
 	gasCost := uint256.NewInt(tx.GasLimit * tx.GasPrice)
-	if err := c.state.SubBalance(sender, gasCost); err != nil {
+	if err := st.SubBalance(sender, gasCost); err != nil {
 		r.Err = ErrCannotPayGas
-		return r
+		return r, false
 	}
 
-	// Native contract call path.
+	// Native contract call path. Native contracts mutate the chain
+	// directly, so they only run when st is the canonical state; the
+	// parallel engine screens them out before speculating.
 	if tx.To != nil {
 		if native, ok := c.natives[*tx.To]; ok {
-			c.state.SetNonce(sender, tx.Nonce+1)
-			snap := c.state.Snapshot()
+			if st != evm.StateDB(c.state) {
+				r.Err = ErrNativeNeedsChainState
+				st.AddBalance(sender, gasCost)
+				return r, false
+			}
+			st.SetNonce(sender, tx.Nonce+1)
+			snap := st.Snapshot()
 			if tx.Value > 0 {
-				if err := c.state.SubBalance(sender, uint256.NewInt(tx.Value)); err != nil {
-					c.state.RevertToSnapshot(snap)
+				if err := st.SubBalance(sender, uint256.NewInt(tx.Value)); err != nil {
+					st.RevertToSnapshot(snap)
 					r.Err = err
 					r.GasUsed = intrinsic
-					c.state.AddBalance(sender, uint256.NewInt((tx.GasLimit-r.GasUsed)*tx.GasPrice))
-					c.state.AddBalance(block.Coinbase, uint256.NewInt(r.GasUsed*tx.GasPrice))
-					return r
+					st.AddBalance(sender, uint256.NewInt((tx.GasLimit-r.GasUsed)*tx.GasPrice))
+					st.AddBalance(block.Coinbase, uint256.NewInt(r.GasUsed*tx.GasPrice))
+					return r, false
 				}
-				c.state.AddBalance(*tx.To, uint256.NewInt(tx.Value))
+				st.AddBalance(*tx.To, uint256.NewInt(tx.Value))
 			}
 			out, err := native.Run(c, sender, tx.Value, tx.Data)
 			if err != nil {
-				c.state.RevertToSnapshot(snap)
+				st.RevertToSnapshot(snap)
 			}
 			r.GasUsed = intrinsic + NativeGas
 			if r.GasUsed > tx.GasLimit {
@@ -362,13 +416,13 @@ func (c *Chain) applyTx(tx *Transaction, block *Block) *Receipt {
 			r.ReturnData = out
 			r.Status = err == nil
 			r.Err = err
-			c.state.AddBalance(sender, uint256.NewInt((tx.GasLimit-r.GasUsed)*tx.GasPrice))
-			c.state.AddBalance(block.Coinbase, uint256.NewInt(r.GasUsed*tx.GasPrice))
-			return r
+			st.AddBalance(sender, uint256.NewInt((tx.GasLimit-r.GasUsed)*tx.GasPrice))
+			st.AddBalance(block.Coinbase, uint256.NewInt(r.GasUsed*tx.GasPrice))
+			return r, false
 		}
 	}
 
-	vm := c.newEVM(block, sender, tx.GasPrice)
+	vm := c.newEVM(st, block, sender, tx.GasPrice)
 	execGas := tx.GasLimit - intrinsic
 
 	var res *evm.ExecResult
@@ -380,10 +434,10 @@ func (c *Chain) applyTx(tx *Transaction, block *Block) *Receipt {
 		r.ContractAddress = res.ContractAddress
 		if res.Err != nil {
 			// A failed create still consumes the nonce.
-			c.state.SetNonce(sender, tx.Nonce+1)
+			st.SetNonce(sender, tx.Nonce+1)
 		}
 	} else {
-		c.state.SetNonce(sender, tx.Nonce+1)
+		st.SetNonce(sender, tx.Nonce+1)
 		res = vm.Call(sender, *tx.To, tx.Data, uint256.NewInt(tx.Value), execGas)
 	}
 
@@ -394,13 +448,13 @@ func (c *Chain) applyTx(tx *Transaction, block *Block) *Receipt {
 	r.ReturnData = res.ReturnData
 	r.Status = res.Err == nil
 	r.Err = res.Err
-	r.Logs = c.state.Logs()
+	r.Logs = st.Logs()
 
 	// Refund unused gas; pay the coinbase for used gas.
 	refund := uint256.NewInt((tx.GasLimit - r.GasUsed) * tx.GasPrice)
-	c.state.AddBalance(sender, refund)
-	c.state.AddBalance(block.Coinbase, uint256.NewInt(r.GasUsed*tx.GasPrice))
-	return r
+	st.AddBalance(sender, refund)
+	st.AddBalance(block.Coinbase, uint256.NewInt(r.GasUsed*tx.GasPrice))
+	return r, true
 }
 
 // CallReadOnly executes a contract view call against the head state
@@ -408,7 +462,7 @@ func (c *Chain) applyTx(tx *Transaction, block *Block) *Receipt {
 func (c *Chain) CallReadOnly(from types.Address, to types.Address, data []byte) ([]byte, error) {
 	snap := c.state.Snapshot()
 	defer c.state.RevertToSnapshot(snap)
-	vm := c.newEVM(c.Head(), from, 1)
+	vm := c.newEVM(c.state, c.Head(), from, 1)
 	res := vm.Call(from, to, data, uint256.NewInt(0), BlockGasLimit)
 	if res.Err != nil {
 		return res.ReturnData, res.Err

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"sort"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/types"
+)
+
+// conflict groups: transactions whose statically known accounts
+// (sender, recipient) overlap must execute in submission order on the
+// same state view — a sender's nonce chain, or payments into one
+// contract, are inherently serial. Disjoint groups speculate in
+// parallel; accounts only touched dynamically (nested CALLs, CREATEs)
+// are caught later by the access-set conflict check.
+
+// unionFind is a plain weighted union-find over transaction indices.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// groupTxs partitions the batch into conflict groups. Each group's
+// transaction indices are ascending (submission order), and groups are
+// ordered by their first transaction index. Transactions whose sender
+// cannot be recovered form singleton groups: they produce an error
+// receipt without touching state.
+func groupTxs(txs []*chain.Transaction) [][]int {
+	u := newUnionFind(len(txs))
+	owner := make(map[types.Address]int)
+	claim := func(i int, addr types.Address) {
+		if o, ok := owner[addr]; ok {
+			u.union(i, o)
+		} else {
+			owner[addr] = i
+		}
+	}
+	for i, tx := range txs {
+		if sender, err := tx.Sender(); err == nil {
+			claim(i, sender)
+		}
+		if tx.To != nil {
+			claim(i, *tx.To)
+		}
+	}
+
+	byRoot := make(map[int][]int)
+	for i := range txs {
+		r := u.find(i)
+		byRoot[r] = append(byRoot[r], i)
+	}
+	groups := make([][]int, 0, len(byRoot))
+	for _, g := range byRoot {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"tinyevm/internal/chain"
+	"tinyevm/internal/evm"
+	"tinyevm/internal/types"
+)
+
+// detectInvalid finds groups whose speculative execution cannot be
+// committed: some key they touched was also touched by another group
+// in a non-commutative way. Every group participating in a conflicted
+// key is invalidated (a reader of a written key is as stale as a
+// second writer). The result is a pure function of the access sets —
+// scheduling order never changes it.
+func detectInvalid(views []*view) []bool {
+	invalid := make([]bool, len(views))
+
+	type keyTouch struct {
+		readers, absWriters, deltaWriters []int
+	}
+	keys := make(map[stateKey]*keyTouch)
+	touch := func(k stateKey) *keyTouch {
+		t, ok := keys[k]
+		if !ok {
+			t = &keyTouch{}
+			keys[k] = t
+		}
+		return t
+	}
+
+	type addrTouch struct {
+		readAll, writeAll, readAny, writeAny []int
+	}
+	addrs := make(map[types.Address]*addrTouch)
+	atouch := func(a types.Address) *addrTouch {
+		t, ok := addrs[a]
+		if !ok {
+			t = &addrTouch{}
+			addrs[a] = t
+		}
+		return t
+	}
+
+	for g, v := range views {
+		for k := range v.access.reads {
+			touch(k).readers = append(touch(k).readers, g)
+		}
+		for k := range v.access.writesAbs {
+			touch(k).absWriters = append(touch(k).absWriters, g)
+		}
+		for k := range v.access.writesDelta {
+			touch(k).deltaWriters = append(touch(k).deltaWriters, g)
+		}
+		for a := range v.access.readStorage {
+			atouch(a).readAny = append(atouch(a).readAny, g)
+		}
+		for a := range v.access.writeStorage {
+			atouch(a).writeAny = append(atouch(a).writeAny, g)
+		}
+		for a := range v.access.readAllStorage {
+			atouch(a).readAll = append(atouch(a).readAll, g)
+		}
+		for a := range v.access.writeAllStorage {
+			atouch(a).writeAll = append(atouch(a).writeAll, g)
+		}
+	}
+
+	others := func(groups []int, self int) bool {
+		for _, g := range groups {
+			if g != self {
+				return true
+			}
+		}
+		return false
+	}
+	markAll := func(lists ...[]int) {
+		for _, l := range lists {
+			for _, g := range l {
+				invalid[g] = true
+			}
+		}
+	}
+
+	for _, t := range keys {
+		conflicted := false
+		for _, w := range t.absWriters {
+			if others(t.absWriters, w) || others(t.deltaWriters, w) || others(t.readers, w) {
+				conflicted = true
+				break
+			}
+		}
+		if !conflicted {
+			for _, w := range t.deltaWriters {
+				if others(t.readers, w) {
+					conflicted = true
+					break
+				}
+			}
+		}
+		if conflicted {
+			markAll(t.absWriters, t.deltaWriters, t.readers)
+		}
+	}
+	for _, t := range addrs {
+		conflicted := false
+		for _, w := range t.writeAll {
+			if others(t.readAny, w) || others(t.writeAny, w) || others(t.readAll, w) {
+				conflicted = true
+				break
+			}
+		}
+		if !conflicted {
+			for _, r := range t.readAll {
+				if others(t.writeAny, r) || others(t.writeAll, r) {
+					conflicted = true
+					break
+				}
+			}
+		}
+		if conflicted {
+			markAll(t.readAll, t.writeAll, t.readAny, t.writeAny)
+		}
+	}
+	return invalid
+}
+
+// merge commits the speculation: conflict-free groups' write buffers
+// are applied to the chain state; conflicted groups are repaired by
+// serial re-execution against the merged state; and if the repair
+// provably interferes with a committed group, the whole batch is
+// re-executed serially from the pre-block state. Receipts come back in
+// submission order, byte-identical to the serial path.
+func (e *Engine) merge(block *chain.Block, txs []*chain.Transaction, groups [][]int, views []*view, results []txResult) []*chain.Receipt {
+	invalid := detectInvalid(views)
+	base := e.chain.State()
+
+	nInvalid := 0
+	for _, bad := range invalid {
+		if bad {
+			nInvalid++
+		}
+	}
+
+	if nInvalid == 0 {
+		// Fast path: all groups are pairwise independent, so applying
+		// them in group order is equivalent to every interleaving —
+		// including the serial one.
+		for g := range groups {
+			views[g].applyTo(base)
+		}
+		e.mu.Lock()
+		e.stats.ParallelTxs += len(txs)
+		e.mu.Unlock()
+		return finalizeReceipts(base, results)
+	}
+
+	// Partial fallback: commit the clean groups, then repair the
+	// conflicted transactions serially (in submission order) against
+	// the merged state, tracking what the repair touches.
+	snap := base.Snapshot()
+	validUnion := newAccessSet()
+	invalidTx := make([]bool, len(txs))
+	nInvalidTxs := 0
+	for g := range groups {
+		if invalid[g] {
+			for _, i := range groups[g] {
+				invalidTx[i] = true
+				nInvalidTxs++
+			}
+			continue
+		}
+		views[g].applyTo(base)
+		validUnion.merge(views[g].access)
+	}
+
+	reView := newView(base)
+	for i, tx := range txs {
+		if !invalidTx[i] {
+			continue
+		}
+		before := len(reView.logs)
+		r, evmPath := e.chain.ExecuteTx(reView, block, tx)
+		results[i] = txResult{
+			receipt: r,
+			evmPath: evmPath,
+			logs:    reView.logs[before:len(reView.logs):len(reView.logs)],
+		}
+	}
+
+	if conflicts(reView.access, validUnion) {
+		// The repair touched state a committed group read or wrote, so
+		// serial equivalence of the combined result cannot be
+		// guaranteed. Roll everything back and run the batch serially.
+		base.RevertToSnapshot(snap)
+		receipts := make([]*chain.Receipt, len(txs))
+		for i, tx := range txs {
+			r, _ := e.chain.ExecuteTx(base, block, tx)
+			receipts[i] = r
+		}
+		e.mu.Lock()
+		e.stats.ConflictGroups += nInvalid
+		e.stats.FullFallbacks++
+		e.stats.SerialTxs += len(txs)
+		e.mu.Unlock()
+		return receipts
+	}
+
+	base.DiscardSnapshot(snap)
+	reView.applyTo(base)
+	e.mu.Lock()
+	e.stats.ConflictGroups += nInvalid
+	e.stats.PartialFallbacks++
+	e.stats.SerialTxs += nInvalidTxs
+	e.stats.ParallelTxs += len(txs) - nInvalidTxs
+	e.mu.Unlock()
+	return finalizeReceipts(base, results)
+}
+
+// finalizeReceipts replays every transaction's log emissions into the
+// canonical state in submission order and rebuilds each EVM-path
+// receipt's cumulative log slice, reproducing exactly what the serial
+// path's `r.Logs = state.Logs()` captured at that point in the block.
+func finalizeReceipts(base *evm.MemState, results []txResult) []*chain.Receipt {
+	receipts := make([]*chain.Receipt, len(results))
+	for i := range results {
+		for _, lg := range results[i].logs {
+			base.AddLog(lg)
+		}
+		if results[i].evmPath {
+			results[i].receipt.Logs = base.Logs()
+		}
+		receipts[i] = results[i].receipt
+	}
+	return receipts
+}

@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/evm"
+	"tinyevm/internal/secp256k1"
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+var (
+	addrA = types.MustHexToAddress("0x00000000000000000000000000000000000000a1")
+	addrB = types.MustHexToAddress("0x00000000000000000000000000000000000000b2")
+	addrC = types.MustHexToAddress("0x00000000000000000000000000000000000000c3")
+)
+
+// applyBoth runs the same mutation once directly on a MemState and once
+// through a view that is then applied, and requires identical digests.
+func applyBoth(t *testing.T, prep func(*evm.MemState), mutate func(evm.StateDB)) {
+	t.Helper()
+	direct := evm.NewMemState()
+	prep(direct)
+	mutate(direct)
+
+	base := evm.NewMemState()
+	prep(base)
+	v := newView(base)
+	mutate(v)
+	v.applyTo(base)
+
+	if d, b := direct.Digest(), base.Digest(); d != b {
+		t.Fatalf("digest mismatch: direct %s, via view %s", d, b)
+	}
+}
+
+func TestViewBalanceRoundTrip(t *testing.T) {
+	applyBoth(t,
+		func(s *evm.MemState) { s.AddBalance(addrA, uint256.NewInt(1000)) },
+		func(s evm.StateDB) {
+			if err := s.SubBalance(addrA, uint256.NewInt(300)); err != nil {
+				t.Fatal(err)
+			}
+			s.AddBalance(addrB, uint256.NewInt(300)) // blind delta
+			s.AddBalance(addrB, uint256.NewInt(7))
+		})
+}
+
+func TestViewBlindDeltaStaysDelta(t *testing.T) {
+	base := evm.NewMemState()
+	base.AddBalance(addrA, uint256.NewInt(50))
+	v := newView(base)
+	v.AddBalance(addrA, uint256.NewInt(25))
+	if len(v.access.reads) != 0 {
+		t.Fatalf("blind credit recorded a read: %v", v.access.reads)
+	}
+	if _, ok := v.access.writesDelta[balanceKey(addrA)]; !ok {
+		t.Fatal("blind credit not recorded as delta write")
+	}
+	// Observing the balance folds the delta into an absolute write.
+	if got := v.Balance(addrA); got.Uint64() != 75 {
+		t.Fatalf("balance = %d, want 75", got.Uint64())
+	}
+	if _, ok := v.access.writesAbs[balanceKey(addrA)]; !ok {
+		t.Fatal("folded delta not promoted to absolute write")
+	}
+	v.applyTo(base)
+	if got := base.Balance(addrA); got.Uint64() != 75 {
+		t.Fatalf("base balance = %d, want 75", got.Uint64())
+	}
+}
+
+func TestViewStorageAndNonce(t *testing.T) {
+	applyBoth(t,
+		func(s *evm.MemState) {
+			s.SetState(addrA, uint256.NewInt(1), uint256.NewInt(11))
+			s.SetState(addrA, uint256.NewInt(2), uint256.NewInt(22))
+		},
+		func(s evm.StateDB) {
+			s.SetState(addrA, uint256.NewInt(2), uint256.NewInt(0)) // delete
+			s.SetState(addrA, uint256.NewInt(3), uint256.NewInt(33))
+			s.SetNonce(addrA, 9)
+			s.SetCode(addrB, []byte{0x60, 0x00})
+		})
+}
+
+func TestViewStorageSlotsCombined(t *testing.T) {
+	base := evm.NewMemState()
+	base.SetState(addrA, uint256.NewInt(1), uint256.NewInt(1))
+	base.SetState(addrA, uint256.NewInt(2), uint256.NewInt(2))
+	v := newView(base)
+	if got := v.StorageSlots(addrA); got != 2 {
+		t.Fatalf("slots = %d, want 2", got)
+	}
+	v.SetState(addrA, uint256.NewInt(2), uint256.NewInt(0))
+	v.SetState(addrA, uint256.NewInt(7), uint256.NewInt(7))
+	if got := v.StorageSlots(addrA); got != 2 {
+		t.Fatalf("slots after masking = %d, want 2", got)
+	}
+}
+
+func TestViewSelfDestruct(t *testing.T) {
+	prep := func(s *evm.MemState) {
+		s.AddBalance(addrA, uint256.NewInt(500))
+		s.SetCode(addrA, []byte{0x00})
+		s.SetState(addrA, uint256.NewInt(1), uint256.NewInt(1))
+	}
+	applyBoth(t, prep, func(s evm.StateDB) {
+		s.SelfDestruct(addrA, addrB)
+	})
+	// Death followed by resurrection in the same speculation.
+	applyBoth(t, prep, func(s evm.StateDB) {
+		s.SelfDestruct(addrA, addrB)
+		s.AddBalance(addrA, uint256.NewInt(42))
+		s.SetState(addrA, uint256.NewInt(2), uint256.NewInt(9))
+	})
+}
+
+func TestViewSnapshotRevert(t *testing.T) {
+	base := evm.NewMemState()
+	base.AddBalance(addrA, uint256.NewInt(100))
+	v := newView(base)
+	v.SetState(addrB, uint256.NewInt(1), uint256.NewInt(5))
+	snap := v.Snapshot()
+	v.SetState(addrB, uint256.NewInt(1), uint256.NewInt(6))
+	v.AddLog(evm.Log{Address: addrB})
+	v.RevertToSnapshot(snap)
+	if got := v.GetState(addrB, uint256.NewInt(1)); got.Uint64() != 5 {
+		t.Fatalf("slot = %d, want 5 after revert", got.Uint64())
+	}
+	if len(v.Logs()) != 0 {
+		t.Fatal("logs survived revert")
+	}
+	// Reads recorded before the revert stay recorded (conservative).
+	v.applyTo(base)
+	if got := base.GetState(addrB, uint256.NewInt(1)); got.Uint64() != 5 {
+		t.Fatalf("base slot = %d, want 5", got.Uint64())
+	}
+}
+
+func TestConflictRules(t *testing.T) {
+	k := balanceKey(addrA)
+	mk := func(mod func(*accessSet)) *accessSet {
+		a := newAccessSet()
+		mod(a)
+		return a
+	}
+	cases := []struct {
+		name string
+		a, b *accessSet
+		want bool
+	}{
+		{"read-read", mk(func(s *accessSet) { s.reads[k] = struct{}{} }), mk(func(s *accessSet) { s.reads[k] = struct{}{} }), false},
+		{"delta-delta", mk(func(s *accessSet) { s.writesDelta[k] = struct{}{} }), mk(func(s *accessSet) { s.writesDelta[k] = struct{}{} }), false},
+		{"abs-read", mk(func(s *accessSet) { s.writesAbs[k] = struct{}{} }), mk(func(s *accessSet) { s.reads[k] = struct{}{} }), true},
+		{"abs-delta", mk(func(s *accessSet) { s.writesAbs[k] = struct{}{} }), mk(func(s *accessSet) { s.writesDelta[k] = struct{}{} }), true},
+		{"delta-read", mk(func(s *accessSet) { s.writesDelta[k] = struct{}{} }), mk(func(s *accessSet) { s.reads[k] = struct{}{} }), true},
+		{"wipe-slotread", mk(func(s *accessSet) { s.writeAllStorage[addrA] = struct{}{} }), mk(func(s *accessSet) { s.readStorage[addrA] = struct{}{} }), true},
+		{"shape-slotwrite", mk(func(s *accessSet) { s.readAllStorage[addrA] = struct{}{} }), mk(func(s *accessSet) { s.writeStorage[addrA] = struct{}{} }), true},
+		{"disjoint-addrs", mk(func(s *accessSet) { s.writesAbs[balanceKey(addrB)] = struct{}{} }), mk(func(s *accessSet) { s.reads[balanceKey(addrC)] = struct{}{} }), false},
+	}
+	for _, tc := range cases {
+		if got := conflicts(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: conflicts = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := conflicts(tc.b, tc.a); got != tc.want {
+			t.Errorf("%s (mirrored): conflicts = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestGroupPartitioning(t *testing.T) {
+	key := func(seed string) *secp256k1.PrivateKey { return secp256k1.DeterministicKey("group-" + seed) }
+	to := types.MustHexToAddress("0x00000000000000000000000000000000000000ff")
+	shared := types.MustHexToAddress("0x00000000000000000000000000000000000000ee")
+
+	sign := func(seed string, nonce uint64, target *types.Address) *chain.Transaction {
+		tx := chain.NewTx(nonce, target, 1, nil)
+		if err := tx.Sign(key(seed)); err != nil {
+			t.Fatal(err)
+		}
+		return tx
+	}
+
+	// tx0,tx2 share a sender; tx1,tx3 share a recipient; tx4 is
+	// unsigned but its recipient statically links it to tx0's group;
+	// tx5 (a create) is fully disjoint.
+	txs := []*chain.Transaction{
+		sign("g0", 0, &to),
+		sign("g1", 0, &shared),
+		sign("g0", 1, &to),
+		sign("g2", 0, &shared),
+		chain.NewTx(0, &to, 1, nil), // no signature
+		sign("g5", 0, nil),
+	}
+	groups := groupTxs(txs)
+	want := [][]int{{0, 2, 4}, {1, 3}, {5}}
+	if len(groups) != len(want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+	for i := range want {
+		if len(groups[i]) != len(want[i]) {
+			t.Fatalf("groups = %v, want %v", groups, want)
+		}
+		for j := range want[i] {
+			if groups[i][j] != want[i][j] {
+				t.Fatalf("groups = %v, want %v", groups, want)
+			}
+		}
+	}
+}
+
+func TestEncodeReceiptDistinguishes(t *testing.T) {
+	r1 := &chain.Receipt{TxHash: types.HashData([]byte("a")), Status: true, GasUsed: 21000}
+	r2 := &chain.Receipt{TxHash: types.HashData([]byte("a")), Status: true, GasUsed: 21001}
+	if bytes.Equal(EncodeReceipt(r1), EncodeReceipt(r2)) {
+		t.Fatal("distinct receipts encode equal")
+	}
+	r3 := &chain.Receipt{TxHash: types.HashData([]byte("a")), Status: true, GasUsed: 21000}
+	if !bytes.Equal(EncodeReceipt(r1), EncodeReceipt(r3)) {
+		t.Fatal("identical receipts encode differently")
+	}
+}

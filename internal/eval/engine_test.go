@@ -1,0 +1,22 @@
+package eval
+
+import "testing"
+
+func TestRunEngineThroughputSmall(t *testing.T) {
+	p := EngineWorkloadParams{Devices: 8, TxPerDevice: 3, ConflictFraction: 0.1, WorkLoops: 20}
+	rep, err := RunEngineThroughput(p, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if !row.Identical {
+			t.Fatalf("workers=%d receipts diverged from serial", row.Workers)
+		}
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report")
+	}
+}

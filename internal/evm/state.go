@@ -1,8 +1,10 @@
 package evm
 
 import (
+	"encoding/binary"
 	"sort"
 
+	"tinyevm/internal/keccak"
 	"tinyevm/internal/types"
 	"tinyevm/internal/uint256"
 )
@@ -167,6 +169,14 @@ func (s *MemState) AddBalance(addr types.Address, amount *uint256.Int) {
 	a.balance.Add(&a.balance, amount)
 }
 
+// SetBalance sets the account balance to an absolute value. It is not
+// part of StateDB — the interpreter only moves value — but the parallel
+// engine needs it to write back a speculative view's final balances.
+func (s *MemState) SetBalance(addr types.Address, amount *uint256.Int) {
+	a := s.acctOrCreate(addr)
+	a.balance.Set(amount)
+}
+
 // SubBalance implements StateDB.
 func (s *MemState) SubBalance(addr types.Address, amount *uint256.Int) error {
 	a := s.acctOrCreate(addr)
@@ -262,6 +272,56 @@ func (s *MemState) StorageKeys(addr types.Address) []uint256.Int {
 		return ki.Lt(&kj)
 	})
 	return keys
+}
+
+// Addresses returns the addresses of all live accounts in sorted order.
+func (s *MemState) Addresses() []types.Address {
+	addrs := make([]types.Address, 0, len(s.accounts))
+	for addr, a := range s.accounts {
+		if a.dead {
+			continue
+		}
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return string(addrs[i][:]) < string(addrs[j][:])
+	})
+	return addrs
+}
+
+// Digest returns a deterministic fingerprint of the full live state:
+// every account's balance, nonce, code and sorted storage, hashed in
+// address order. Accounts that are materialized but observationally
+// empty (Exists is false — e.g. the record left behind by a failed
+// debit) are skipped, so two observationally identical states always
+// digest equal; the parallel engine's tests use this to prove
+// speculative execution converges to the serial result.
+func (s *MemState) Digest() types.Hash {
+	h := keccak.New()
+	var buf [8]byte
+	for _, addr := range s.Addresses() {
+		if !s.Exists(addr) {
+			continue
+		}
+		a := s.accounts[addr]
+		h.Write(addr[:])
+		bal := a.balance.Bytes32()
+		h.Write(bal[:])
+		binary.BigEndian.PutUint64(buf[:], a.nonce)
+		h.Write(buf[:])
+		binary.BigEndian.PutUint64(buf[:], uint64(len(a.code)))
+		h.Write(buf[:])
+		h.Write(a.code)
+		keys := s.StorageKeys(addr)
+		for i := range keys {
+			k := keys[i].Bytes32()
+			h.Write(k[:])
+			v := a.storage[keys[i]]
+			vb := v.Bytes32()
+			h.Write(vb[:])
+		}
+	}
+	return types.BytesToHash(h.Sum(nil))
 }
 
 // SelfDestruct implements StateDB.
