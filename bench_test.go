@@ -14,6 +14,7 @@ package tinyevm_test
 // host-side ns/op numbers.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -44,7 +45,7 @@ func BenchmarkTableI_OpcodeCategories(b *testing.B) {
 // reports the key measured values as custom metrics.
 func BenchmarkTableII_Fig3_Fig4_Deploy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep := eval.RunCorpus(300, nil)
+		rep := eval.RunCorpus(context.Background(), 300, nil)
 		b.ReportMetric(100*rep.SuccessRate(), "%deployable")
 		b.ReportMetric(rep.TimeSummary.Mean, "ms-mean-deploy")
 		b.ReportMetric(rep.StackSummary.Mean, "words-mean-SP")

@@ -12,9 +12,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"tinyevm/internal/eval"
 )
@@ -35,6 +39,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the run cleanly between units of work
+	// instead of leaving a half-written report.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if !*all && *table == "" && *fig == "" && !*ablations && !*engineRun {
 		*all = true
 	}
@@ -52,7 +61,11 @@ func main() {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "deploying %d synthetic contracts...\n", *n)
 		}
-		corpusRep = eval.RunCorpus(*n, progress)
+		corpusRep = eval.RunCorpus(ctx, *n, progress)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "benchtables: interrupted")
+			os.Exit(130)
+		}
 	}
 
 	var roundRep *eval.RoundReport
@@ -61,10 +74,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "running %d off-chain rounds...\n", *reps)
 		}
 		var err error
-		roundRep, err = eval.RunRounds(*reps)
+		roundRep, err = eval.RunRounds(ctx, *reps)
 		if err != nil {
+			code := 1
+			if errors.Is(err, context.Canceled) {
+				code = 130
+			}
 			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-			os.Exit(1)
+			os.Exit(code)
 		}
 	}
 
@@ -143,10 +160,14 @@ func main() {
 		p := eval.DefaultEngineWorkload()
 		p.Devices = *engineDevices
 		p.TxPerDevice = *engineTxs
-		rep, err := eval.RunEngineThroughput(p, []int{1, 4, 16})
+		rep, err := eval.RunEngineThroughput(ctx, p, []int{1, 4, 16})
 		if err != nil {
+			code := 1
+			if errors.Is(err, context.Canceled) {
+				code = 130
+			}
 			fmt.Fprintf(os.Stderr, "benchtables: engine: %v\n", err)
-			os.Exit(1)
+			os.Exit(code)
 		}
 		fmt.Print(rep.String())
 		for _, row := range rep.Rows {

@@ -22,12 +22,16 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"tinyevm/internal/asm"
 	"tinyevm/internal/device"
@@ -55,16 +59,25 @@ func main() {
 	flag.Parse()
 
 	if *engineRun {
+		// SIGINT aborts the scenario cleanly between worker-count runs
+		// instead of leaving the worker pool mid-flight.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+
 		workers, err := parseWorkers(*engineWorkers)
 		if err != nil {
 			fatal(err)
 		}
-		rep, err := eval.RunEngineThroughput(eval.EngineWorkloadParams{
+		rep, err := eval.RunEngineThroughput(ctx, eval.EngineWorkloadParams{
 			Devices:          *engineDevices,
 			TxPerDevice:      *engineTxs,
 			ConflictFraction: *engineConflict,
 			WorkLoops:        *engineLoops,
 		}, workers)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "tinyevm-run: interrupted")
+			os.Exit(130)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,93 @@
+// Command tinyevm-serve runs a TinyEVM deployment as a network daemon:
+// a JSON-RPC 2.0 gateway over HTTP through which external clients
+// create nodes, open off-chain payment channels, pay, subscribe to
+// events (long-poll) and settle on the simulated main chain.
+//
+//	tinyevm-serve -addr :8545 -provider parking-lot
+//	tinyevm-serve -addr :8545 -engine-workers 8 -challenge 10
+//
+// A session from the shell:
+//
+//	curl -s -X POST localhost:8545 -d '{"jsonrpc":"2.0","id":1,
+//	  "method":"tinyevm_addNode","params":{"name":"car"}}'
+//	curl -s -X POST localhost:8545 -d '{"jsonrpc":"2.0","id":2,
+//	  "method":"tinyevm_openChannel","params":{"node":"car",
+//	  "peer":"parking-lot","deposit":10000}}'
+//
+// SIGINT/SIGTERM shut the daemon down cleanly: in-flight requests
+// drain, subscriptions close, and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tinyevm"
+	"tinyevm/internal/rpc"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8545", "HTTP listen address")
+		provider  = flag.String("provider", "provider", "provider node name (payment receiver)")
+		challenge = flag.Uint64("challenge", 10, "challenge period in blocks")
+		workers   = flag.Int("engine-workers", 0, "parallel-engine workers for block production (0 = serial)")
+		lossRate  = flag.Float64("radio-loss", 0, "per-frame radio loss probability")
+		radioSeed = flag.Int64("radio-seed", 1, "radio loss process seed")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	svc, prov, err := tinyevm.NewService(*provider,
+		tinyevm.WithChallengePeriod(*challenge),
+		tinyevm.WithEngineWorkers(*workers),
+		tinyevm.WithRadioLossRate(*lossRate),
+		tinyevm.WithRadioSeed(*radioSeed),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	defer svc.Close()
+	prov.RegisterSensor(tinyevm.SensorTemperature,
+		func(uint64) (uint64, error) { return rpc.DefaultSensorValue, nil })
+
+	server := &http.Server{
+		Addr:        *addr,
+		Handler:     rpc.NewServer(svc),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "tinyevm-serve: provider %q (%s) listening on %s\n",
+		prov.Name(), prov.Address(), *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "tinyevm-serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tinyevm-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package tinyevm_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"tinyevm"
+	"tinyevm/internal/protocol"
+)
+
+// ExampleService is the documented quickstart: open a channel, pay over
+// it, observe the payments on the counterparty's event stream, and run
+// the countersigned close — with zero lockstep pumping.
+func ExampleService() {
+	ctx := context.Background()
+
+	svc, lot, err := tinyevm.NewService("parking-lot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	car, err := svc.AddNode(ctx, "smart-car")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []*tinyevm.ServiceNode{lot, car} {
+		n.RegisterSensor(tinyevm.SensorTemperature, func(uint64) (uint64, error) { return 2150, nil })
+	}
+
+	// The lot watches its stream; the car just pays.
+	events := lot.Subscribe(ctx)
+
+	cs, err := car.OpenChannel(ctx, lot.Address(), 10_000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := car.Pay(ctx, cs.ID, 250); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := car.Pay(ctx, cs.ID, 250); err != nil {
+		log.Fatal(err)
+	}
+	final, err := car.Close(ctx, cs.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		e := <-events
+		fmt.Println(e.Type)
+	}
+	fmt.Println("cumulative:", final.Cumulative)
+	fmt.Println("countersigned:", final.VerifySignatures() == nil)
+
+	// Output:
+	// channel-opened
+	// payment-received
+	// payment-received
+	// channel-closed
+	// cumulative: 500
+	// countersigned: true
+}
+
+// ExampleService_typedErrors shows the error taxonomy: protocol
+// failures match sentinel errors through errors.Is, across the whole
+// service API.
+func ExampleService_typedErrors() {
+	ctx := context.Background()
+
+	svc, lot, err := tinyevm.NewService("lot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	car, err := svc.AddNode(ctx, "car")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, n := range []*tinyevm.ServiceNode{lot, car} {
+		n.RegisterSensor(tinyevm.SensorTemperature, func(uint64) (uint64, error) { return 2150, nil })
+	}
+
+	cs, err := car.OpenChannel(ctx, lot.Address(), 1_000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	_, err = car.Pay(ctx, cs.ID, 2_000) // exceeds the 1_000 deposit
+	fmt.Println(errors.Is(err, protocol.ErrInsufficientChannelBalance))
+
+	var cerr *protocol.ChannelError
+	if errors.As(err, &cerr) {
+		fmt.Printf("op=%s channel=%d\n", cerr.Op, cerr.Channel)
+	}
+
+	// Output:
+	// true
+	// op=pay channel=1
+}

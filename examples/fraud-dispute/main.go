@@ -1,4 +1,6 @@
-// Fraud dispute: the paper's security mechanism in action (§V).
+// Fraud dispute: the paper's security mechanism in action (§V), driven
+// through the Service API — the dispute surfaces as an event on the
+// subscribe stream when the on-chain template catches the stale commit.
 //
 //	go run ./examples/fraud-dispute
 //
@@ -12,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,45 +22,39 @@ import (
 )
 
 func main() {
-	sys, lot, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "parking-sensor")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	svc, lot, err := tinyevm.NewService("parking-sensor")
 	if err != nil {
 		log.Fatal(err)
 	}
-	car, err := sys.AddNode("smart-car")
+	defer svc.Close()
+	car, err := svc.AddNode(ctx, "smart-car")
 	if err != nil {
 		log.Fatal(err)
 	}
 	lot.RegisterSensor(tinyevm.SensorTemperature, func(uint64) (uint64, error) { return 2000, nil })
 	car.RegisterSensor(tinyevm.SensorTemperature, func(uint64) (uint64, error) { return 2000, nil })
 
+	lotEvents := lot.Subscribe(ctx)
+
 	const deposit = 10_000_000
-	if r, err := car.DepositOnChain(sys.Chain, deposit); err != nil || !r.Status {
+	if r, err := car.Deposit(ctx, deposit); err != nil || !r.Status {
 		log.Fatalf("deposit: %v %v", err, r)
 	}
 
-	cs, err := car.OpenChannel(lot.Address(), deposit, 0)
+	cs, err := car.OpenChannel(ctx, lot.Address(), deposit, 0)
 	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := lot.AcceptChannel(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("channel #%d open, %d wei deposited on-chain as insurance\n\n", cs.ID, deposit)
 
 	// Hour 1, then a countersigned checkpoint of the channel state.
-	if _, err := car.Pay(cs.ID, 1_000_000); err != nil {
+	if _, err := car.Pay(ctx, cs.ID, 1_000_000); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lot.ReceivePayment(); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := car.CloseChannel(cs.ID); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := lot.AcceptClose(); err != nil {
-		log.Fatal(err)
-	}
-	stale, err := car.FinishClose()
+	stale, err := car.Close(ctx, cs.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,27 +62,18 @@ func main() {
 		stale.Seq, stale.Cumulative)
 
 	// Both parties reopen and the parking continues: hours 2 and 3.
-	if err := car.Reopen(cs.ID); err != nil {
+	if err := car.Reopen(ctx, cs.ID); err != nil {
 		log.Fatal(err)
 	}
-	if err := lot.Reopen(cs.ID); err != nil {
+	if err := lot.Reopen(ctx, cs.ID); err != nil {
 		log.Fatal(err)
 	}
 	for hour := 2; hour <= 3; hour++ {
-		if _, err := car.Pay(cs.ID, 1_000_000); err != nil {
-			log.Fatal(err)
-		}
-		if _, err := lot.ReceivePayment(); err != nil {
+		if _, err := car.Pay(ctx, cs.ID, 1_000_000); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if _, err := car.CloseChannel(cs.ID); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := lot.AcceptClose(); err != nil {
-		log.Fatal(err)
-	}
-	fresh, err := car.FinishClose()
+	fresh, err := car.Close(ctx, cs.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -94,38 +82,50 @@ func main() {
 
 	// THE FRAUD: the car commits the old checkpoint and races to exit.
 	fmt.Println("FRAUD ATTEMPT: car commits the old 1M-wei checkpoint and requests exit")
-	if r, err := car.CommitOnChain(sys.Chain, stale); err != nil || !r.Status {
+	if r, err := car.Commit(ctx, stale); err != nil || !r.Status {
 		log.Fatalf("stale commit: %v %v", err, r)
 	}
-	if r, err := car.ExitOnChain(sys.Chain); err != nil || !r.Status {
+	if r, err := car.Exit(ctx); err != nil || !r.Status {
 		log.Fatalf("exit: %v %v", err, r)
 	}
-	exit, _ := sys.Template.Exit()
+	exit, _ := svc.System().Template.Exit()
 	fmt.Printf("challenge period open until block %d\n\n", exit.Deadline)
 
 	// THE DEFENSE: the lot uploads the newest state from its own
-	// side-chain log during the challenge period.
+	// side-chain log during the challenge period. The template catches
+	// the superseded commit and raises a dispute event.
 	fmt.Println("DEFENSE: lot challenges with the newer signed state (higher sequence number)")
-	if r, err := lot.CommitOnChain(sys.Chain, fresh); err != nil || !r.Status {
+	if r, err := lot.Commit(ctx, fresh); err != nil || !r.Status {
 		log.Fatalf("challenge: %v %v", err, r)
 	}
-	frauds := sys.Template.FraudChannels(car.Address())
-	fmt.Printf("fraud recorded against the car on channels %v\n", frauds)
-	fmt.Printf("lot's side-chain log verifies: %v\n\n", lot.Log.Verify() == nil)
-
-	lotBefore := sys.Chain.BalanceOf(lot.Address())
-	carBefore := sys.Chain.BalanceOf(car.Address())
-	if err := sys.RunChallengePeriod(); err != nil {
+	for e := range lotEvents {
+		if e.Type == tinyevm.EventDispute {
+			fmt.Printf("dispute event: %s cheated on channel %d\n", e.Peer, e.Channel)
+			break
+		}
+	}
+	frauds, err := svc.FraudChannels(ctx, car.Address())
+	if err != nil {
 		log.Fatal(err)
 	}
-	r, err := lot.SettleOnChain(sys.Chain)
+	fmt.Printf("fraud recorded against the car on channels %v\n", frauds)
+	fmt.Printf("lot's side-chain log verifies: %v\n\n", lot.VerifyLog(ctx) == nil)
+
+	lotBefore, _ := svc.BalanceOf(ctx, lot.Address())
+	carBefore, _ := svc.BalanceOf(ctx, car.Address())
+	if err := svc.RunChallengePeriod(ctx); err != nil {
+		log.Fatal(err)
+	}
+	r, err := lot.Settle(ctx)
 	if err != nil || !r.Status {
 		log.Fatalf("settle: %v %v", err, r)
 	}
-	lotEarned := int64(sys.Chain.BalanceOf(lot.Address())) - int64(lotBefore)
-	carBack := int64(sys.Chain.BalanceOf(car.Address())) - int64(carBefore)
+	lotAfter, _ := svc.BalanceOf(ctx, lot.Address())
+	carAfter, _ := svc.BalanceOf(ctx, car.Address())
 
 	fmt.Println("settlement:")
-	fmt.Printf("  lot received  %+d wei (3M owed + 7M insurance - its own gas)\n", lotEarned)
-	fmt.Printf("  car received  %+d wei (deposit forfeited: cheating cost it everything)\n", carBack)
+	fmt.Printf("  lot received  %+d wei (3M owed + 7M insurance - its own gas)\n",
+		int64(lotAfter)-int64(lotBefore))
+	fmt.Printf("  car received  %+d wei (deposit forfeited: cheating cost it everything)\n",
+		int64(carAfter)-int64(carBefore))
 }

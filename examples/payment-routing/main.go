@@ -1,6 +1,6 @@
 // Payment routing: multi-hop payments across TinyEVM nodes — the
 // paper's future-work direction, built on the hash-lock primitive its
-// background section describes.
+// background section describes — driven through the Service API.
 //
 //	go run ./examples/payment-routing
 //
@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,56 +20,75 @@ import (
 )
 
 func main() {
-	sys, hub, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "roadside-hub")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	svc, hub, err := tinyevm.NewService("roadside-hub")
 	if err != nil {
 		log.Fatal(err)
 	}
-	car, err := sys.AddNode("smart-car")
+	defer svc.Close()
+	car, err := svc.AddNode(ctx, "smart-car")
 	if err != nil {
 		log.Fatal(err)
 	}
-	station, err := sys.AddNode("charging-station")
+	station, err := svc.AddNode(ctx, "charging-station")
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, n := range []*tinyevm.Node{hub, car, station} {
+	for _, n := range []*tinyevm.ServiceNode{hub, car, station} {
 		n.RegisterSensor(tinyevm.SensorTemperature, func(uint64) (uint64, error) { return 2000, nil })
 	}
 
+	// The station learns its inbound channel handle from its own stream.
+	stationEvents := station.Subscribe(ctx)
+
 	// Channel topology: car -> hub -> station.
-	carHub, err := car.OpenChannel(hub.Address(), 1_000_000, 0)
+	carHub, err := car.OpenChannel(ctx, hub.Address(), 1_000_000, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := hub.AcceptChannel(); err != nil {
-		log.Fatal(err)
-	}
-	hubStation, err := hub.OpenChannel(station.Address(), 1_000_000, 0)
+	hubStation, err := hub.OpenChannel(ctx, station.Address(), 1_000_000, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := station.AcceptChannel(); err != nil {
-		log.Fatal(err)
+	var stationIn tinyevm.Event
+	for e := range stationEvents {
+		if e.Type == tinyevm.EventChannelOpened {
+			stationIn = e
+			break
+		}
 	}
 	fmt.Println("channels: car -> hub, hub -> station (no direct car -> station)")
 
 	const amount, fee = 50_000, 1_000
-	route := []tinyevm.RouteHop{
-		{From: car.Party, ChannelID: carHub.ID},
-		{From: hub.Party, ChannelID: hubStation.ID},
+	route := []tinyevm.RouteStep{
+		{Node: "smart-car", Channel: carHub.ID},
+		{Node: "roadside-hub", Channel: hubStation.ID},
 	}
 
 	fmt.Printf("\nrouting %d wei from car to station (hub fee %d)...\n", amount, fee)
-	lock, err := tinyevm.RoutePayment(route, station, amount, fee)
+	lock, err := svc.RoutePayment(ctx, route, "charging-station", amount, fee)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("hash lock %s resolved — all hops settled atomically\n\n", lock)
 
-	carCS, _ := car.Channel(carHub.ID)
-	stationCS, _ := station.Channel(hubStation.ID)
-	hubIn, _ := hub.Channel(carHub.ID)
-	hubOut, _ := hub.Channel(hubStation.ID)
+	carCS, _, _ := car.Channel(ctx, carHub.ID)
+	stationCS, _, _ := station.Channel(ctx, stationIn.Channel)
+	hubChans, err := hub.Channels(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hubIn, hubOut tinyevm.ChannelState
+	for _, cs := range hubChans {
+		if cs.Peer == car.Address() {
+			hubIn = cs
+		}
+		if cs.Peer == station.Address() {
+			hubOut = cs
+		}
+	}
 
 	fmt.Printf("car paid        %6d wei (amount + fee)\n", carCS.Cumulative)
 	fmt.Printf("station got     %6d wei\n", stationCS.Cumulative)
@@ -76,8 +96,11 @@ func main() {
 		hubIn.Cumulative-hubOut.Cumulative, hubIn.Cumulative, hubOut.Cumulative)
 
 	fmt.Println("\nper-device energy for the routed payment:")
-	for _, n := range []*tinyevm.Node{car, hub, station} {
-		rep := n.EnergyReport()
+	for _, n := range []*tinyevm.ServiceNode{car, hub, station} {
+		rep, err := n.EnergyReport(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  %-18s %6.1f mJ (crypto %5.1f mJ)\n",
 			n.Name(), rep.TotalEnergyMJ, rep.Rows[0].EnergyMJ)
 	}

@@ -1,5 +1,5 @@
 // Quickstart: deploy and call a smart contract on a simulated TinyEVM
-// IoT device.
+// IoT device through the context-aware Service API.
 //
 //	go run ./examples/quickstart
 //
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,13 +19,16 @@ import (
 )
 
 func main() {
-	// A system is a simulated main chain plus a TSCH radio network; the
-	// provider node is created with it.
-	sys, node, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "demo-node")
+	ctx := context.Background()
+
+	// A service wraps a simulated main chain plus a TSCH radio network;
+	// the provider node is created with it. Every operation takes a
+	// context and is safe for concurrent use.
+	svc, node, err := tinyevm.NewService("demo-node")
 	if err != nil {
 		log.Fatal(err)
 	}
-	_ = sys
+	defer svc.Close()
 
 	// Give the device a temperature sensor: 21.5 degrees, in centi-C.
 	node.RegisterSensor(tinyevm.SensorTemperature, func(param uint64) (uint64, error) {
@@ -37,7 +41,10 @@ func main() {
 		node.Address(), node.Address(), tinyevm.SensorTemperature, 0)
 
 	fmt.Println("deploying the payment-channel contract on the device...")
-	res := node.DeployContract(init)
+	res, err := node.DeployContract(ctx, init)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if res.Err != nil {
 		log.Fatalf("deployment failed: %v", res.Err)
 	}
@@ -49,7 +56,10 @@ func main() {
 	fmt.Printf("  device time      %s (paper mean: 215 ms for 4 KB contracts)\n\n", res.Time)
 
 	fmt.Println("calling sensorData()...")
-	out := node.CallContract(res.Address, tinyevm.Calldata("sensorData()"), 0)
+	out, err := node.CallContract(ctx, res.Address, tinyevm.Calldata("sensorData()"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if out.Err != nil {
 		log.Fatalf("call failed: %v", out.Err)
 	}
@@ -58,7 +68,10 @@ func main() {
 		reading/100, reading%100)
 	fmt.Printf("  execution        %d VM steps in %s\n\n", out.Stats.Steps, out.Time)
 
-	rep := node.EnergyReport()
+	rep, err := node.EnergyReport(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("device energy so far:")
 	fmt.Print(rep.String())
 }

@@ -1,5 +1,6 @@
 // Sensor oracle: contracts that sense and actuate through the IoT
-// opcode 0x0C — the paper's answer to Ethereum's oracle problem.
+// opcode 0x0C — the paper's answer to Ethereum's oracle problem —
+// driven through the context-aware Service API.
 //
 //	go run ./examples/sensor-oracle
 //
@@ -11,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,11 +50,12 @@ const climateGuard = `
 `
 
 func main() {
-	sys, node, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "greenhouse-node")
+	ctx := context.Background()
+	svc, node, err := tinyevm.NewService("greenhouse-node")
 	if err != nil {
 		log.Fatal(err)
 	}
-	_ = sys
+	defer svc.Close()
 
 	// A temperature that rises on every reading, and a fan actuator
 	// whose state we observe from the host side.
@@ -88,7 +91,10 @@ func main() {
 	}
 	init = append(init[:len(init)-1], runtime...) // replace marker with runtime
 
-	res := node.DeployContract(init)
+	res, err := node.DeployContract(ctx, init)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if res.Err != nil {
 		log.Fatalf("deploy: %v", res.Err)
 	}
@@ -96,7 +102,10 @@ func main() {
 		res.Address, res.RuntimeSize, res.Time)
 
 	for i := 1; i <= 4; i++ {
-		out := node.CallContract(res.Address, nil, 0)
+		out, err := node.CallContract(ctx, res.Address, nil, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if out.Err != nil {
 			log.Fatalf("call %d: %v", i, out.Err)
 		}

@@ -1,4 +1,7 @@
-// Smart parking: the paper's full application scenario (§III).
+// Smart parking: the paper's full application scenario (§III), driven
+// through the event-based Service API — no lockstep pumping: the lot
+// observes the car's messages on its Subscribe stream, and every wire
+// message is dispatched automatically.
 //
 //	go run ./examples/smart-parking
 //
@@ -11,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,11 +22,15 @@ import (
 )
 
 func main() {
-	sys, lot, err := tinyevm.NewSystem(tinyevm.DefaultConfig(), "parking-sensor")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	svc, lot, err := tinyevm.NewService("parking-sensor")
 	if err != nil {
 		log.Fatal(err)
 	}
-	car, err := sys.AddNode("smart-car")
+	defer svc.Close()
+	car, err := svc.AddNode(ctx, "smart-car")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,97 +42,111 @@ func main() {
 	car.RegisterSensor(tinyevm.SensorTemperature, constant(2150))
 	car.RegisterSensor(tinyevm.SensorDistance, constant(35))
 
+	// Both parties watch their event streams instead of polling inboxes.
+	lotEvents := lot.Subscribe(ctx)
+	carEvents := car.Subscribe(ctx)
+
 	fmt.Println("=== Phase 1: on-chain setup ===")
 	const deposit = 5_000_000
-	if r, err := car.DepositOnChain(sys.Chain, deposit); err != nil || !r.Status {
+	if r, err := car.Deposit(ctx, deposit); err != nil || !r.Status {
 		log.Fatalf("deposit failed: %v %v", err, r)
 	}
-	fmt.Printf("car locked %d wei into the on-chain template %s\n\n",
-		deposit, sys.Template.Addr)
+	fmt.Printf("car locked %d wei into the on-chain template\n\n", deposit)
 
 	fmt.Println("=== Phase 2: off-chain channel over the TSCH link ===")
-	if _, err := car.SendSensorData(lot.Address(), tinyevm.SensorTemperature, tinyevm.SensorDistance); err != nil {
+	if _, err := car.SendSensorData(ctx, lot.Address(), tinyevm.SensorTemperature, tinyevm.SensorDistance); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lot.ReceiveSensorData(); err != nil {
+	if _, err := lot.SendSensorData(ctx, car.Address(), tinyevm.SensorTemperature, tinyevm.SensorOccupancy); err != nil {
 		log.Fatal(err)
 	}
-	sd, err := lot.SendSensorData(car.Address(), tinyevm.SensorTemperature, tinyevm.SensorOccupancy)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := car.ReceiveSensorData(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("sensor data exchanged (lot occupancy=%d)\n", sd.Readings[1].Value)
+	// The car learns the lot's occupancy from its own event stream.
+	sd := next(carEvents, tinyevm.EventSensorData)
+	occupancy := sd.Readings[1].Value
+	fmt.Printf("sensor data exchanged (lot occupancy=%d)\n", occupancy)
 
-	cs, err := car.OpenChannel(lot.Address(), deposit, 0)
+	cs, err := car.OpenChannel(ctx, lot.Address(), deposit, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := lot.AcceptChannel(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("channel #%d open at %s (logical clock = channel id)\n\n", cs.ID, cs.Addr)
+	opened := next(lotEvents, tinyevm.EventChannelOpened)
+	fmt.Printf("channel #%d open at %s; lot replicated it as #%d (logical clock = channel id)\n\n",
+		cs.ID, cs.Addr, opened.Channel)
 
 	fmt.Println("=== hourly payments (price from sensor context) ===")
 	// Hourly rate: base 800k wei, +25% when the lot is busy.
 	rate := uint64(800_000)
-	if sd.Readings[1].Value == 1 {
+	if occupancy == 1 {
 		rate += 200_000
 	}
 	for hour := 1; hour <= 3; hour++ {
-		pay, err := car.Pay(cs.ID, rate)
-		if err != nil {
+		if _, err := car.Pay(ctx, cs.ID, rate); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := lot.ReceivePayment(); err != nil {
-			log.Fatal(err)
-		}
+		e := next(lotEvents, tinyevm.EventPaymentReceived)
 		fmt.Printf("hour %d: paid %4d wei  (seq %d, cumulative %d, signed + registered on side-chain)\n",
-			hour, rate, pay.Seq, pay.Cumulative)
+			hour, e.Amount, e.Seq, e.Payment.Cumulative)
 	}
 
 	fmt.Println("\n=== close: exchange signatures on the final state ===")
-	if _, err := car.CloseChannel(cs.ID); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := lot.AcceptClose(); err != nil {
-		log.Fatal(err)
-	}
-	final, err := car.FinishClose()
+	final, err := car.Close(ctx, cs.ID)
 	if err != nil {
 		log.Fatal(err)
 	}
+	next(lotEvents, tinyevm.EventChannelClosed)
 	fmt.Printf("final state: seq %d, cumulative %d wei, both signatures valid\n\n",
 		final.Seq, final.Cumulative)
 
 	fmt.Println("=== Phase 3: on-chain commit and settlement ===")
-	lotBefore := sys.Chain.BalanceOf(lot.Address())
-	if r, err := lot.CommitOnChain(sys.Chain, final); err != nil || !r.Status {
-		log.Fatalf("commit failed: %v %v", err, r)
-	}
-	root, _ := sys.Template.Root()
-	fmt.Printf("state committed: Merkle-sum root %s (sum %d wei)\n", root.Hash, root.Sum)
-
-	if r, err := car.ExitOnChain(sys.Chain); err != nil || !r.Status {
-		log.Fatalf("exit failed: %v %v", err, r)
-	}
-	exit, _ := sys.Template.Exit()
-	fmt.Printf("car requested exit; challenge period until block %d\n", exit.Deadline)
-	if err := sys.RunChallengePeriod(); err != nil {
+	lotBefore, err := svc.BalanceOf(ctx, lot.Address())
+	if err != nil {
 		log.Fatal(err)
 	}
-	if r, err := lot.SettleOnChain(sys.Chain); err != nil || !r.Status {
+	if r, err := lot.Commit(ctx, final); err != nil || !r.Status {
+		log.Fatalf("commit failed: %v %v", err, r)
+	}
+	root, _ := svc.System().Template.Root()
+	fmt.Printf("state committed: Merkle-sum root %s (sum %d wei)\n", root.Hash, root.Sum)
+
+	if r, err := car.Exit(ctx); err != nil || !r.Status {
+		log.Fatalf("exit failed: %v %v", err, r)
+	}
+	exit, _ := svc.System().Template.Exit()
+	fmt.Printf("car requested exit; challenge period until block %d\n", exit.Deadline)
+	if err := svc.RunChallengePeriod(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if r, err := lot.Settle(ctx); err != nil || !r.Status {
 		log.Fatalf("settle failed: %v %v", err, r)
 	}
-	earned := int64(sys.Chain.BalanceOf(lot.Address())) - int64(lotBefore)
-	fmt.Printf("settled: lot earned %+d wei net of its gas; unspent deposit refunded to the car\n\n", earned)
+	lotAfter, err := svc.BalanceOf(ctx, lot.Address())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("settled: lot earned %+d wei net of its gas; unspent deposit refunded to the car\n\n",
+		int64(lotAfter)-int64(lotBefore))
 
 	fmt.Println("=== car-side energy for the session ===")
-	fmt.Print(car.EnergyReport().String())
+	rep, err := car.EnergyReport(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.String())
 	fmt.Println("\nside-chain logs verified:",
-		check(car.Log.Verify()), "(car),", check(lot.Log.Verify()), "(lot)")
+		check(car.VerifyLog(ctx)), "(car),", check(lot.VerifyLog(ctx)), "(lot)")
+}
+
+// next reads events from the stream until one of the wanted type
+// arrives (the service delivers them in order, so this never skips
+// meaningful state).
+func next(events <-chan tinyevm.Event, want tinyevm.EventType) tinyevm.Event {
+	for e := range events {
+		if e.Type == want {
+			return e
+		}
+	}
+	log.Fatalf("event stream closed waiting for %s", want)
+	return tinyevm.Event{}
 }
 
 func constant(v uint64) tinyevm.SensorFunc {

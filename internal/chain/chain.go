@@ -173,6 +173,11 @@ type Chain struct {
 	natives  map[types.Address]NativeContract
 	// genesisTime anchors block timestamps.
 	genesisTime uint64
+	// sealHooks are invoked after every sealed block (serial MineBlock
+	// and the parallel engine both land here). Hooks run synchronously
+	// on the sealing goroutine; the service layer uses them to publish
+	// block-sealed events.
+	sealHooks []func(*Block, []*Receipt)
 }
 
 // New creates a chain with a genesis block.
@@ -290,6 +295,16 @@ func (c *Chain) SealBlock(block *Block, receipts []*Receipt) {
 	}
 	block.Hash = blockHash(block)
 	c.blocks = append(c.blocks, block)
+	for _, hook := range c.sealHooks {
+		hook(block, receipts)
+	}
+}
+
+// OnSeal registers a hook called synchronously after each block is
+// sealed, with the block and its receipts. Registration is not safe for
+// concurrent use with block production; install hooks at setup time.
+func (c *Chain) OnSeal(hook func(*Block, []*Receipt)) {
+	c.sealHooks = append(c.sealHooks, hook)
 }
 
 // MineBlock executes all pending transactions serially and seals a

@@ -74,7 +74,10 @@ type System struct {
 	Network *radio.Network
 
 	provider types.Address
+	cfg      Config
 	nodes    map[string]*Node
+	// order keeps nodes in join order for deterministic iteration.
+	order []*Node
 }
 
 // Config parametrizes a System.
@@ -110,6 +113,7 @@ func NewSystem(cfg Config, providerName string) (*System, *Node, error) {
 	s := &System{
 		Chain:   chain.New(),
 		Network: radio.NewNetwork(radioCfg, cfg.RadioSeed),
+		cfg:     cfg,
 		nodes:   make(map[string]*Node),
 	}
 
@@ -125,13 +129,13 @@ func NewSystem(cfg Config, providerName string) (*System, *Node, error) {
 	return s, provider, nil
 }
 
-// AddNode creates and joins a new node with default funding.
+// AddNode creates and joins a new node funded per the system's config.
 func (s *System) AddNode(name string) (*Node, error) {
 	if _, exists := s.nodes[name]; exists {
 		return nil, fmt.Errorf("core: node %q already exists", name)
 	}
 	dev := device.New(name)
-	s.Chain.Fund(dev.Address(), DefaultConfig().NodeFunds)
+	s.Chain.Fund(dev.Address(), s.cfg.NodeFunds)
 	return s.join(dev, 0)
 }
 
@@ -143,7 +147,15 @@ func (s *System) join(dev *device.Device, _ uint64) (*Node, error) {
 	}
 	n := &Node{Party: party, name: dev.Name}
 	s.nodes[dev.Name] = n
+	s.order = append(s.order, n)
 	return n, nil
+}
+
+// Nodes returns every joined node in join order.
+func (s *System) Nodes() []*Node {
+	out := make([]*Node, len(s.order))
+	copy(out, s.order)
+	return out
 }
 
 // Node returns a joined node by name.

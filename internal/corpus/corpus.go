@@ -14,6 +14,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -315,10 +316,15 @@ type Result struct {
 // DeployAll deploys every contract on a single reused device (with a
 // fresh measurement window each time) and returns the outcomes in
 // order. progress, when non-nil, is called after each deployment.
-func DeployAll(contractsList []Contract, progress func(done int)) []Result {
+// Cancelling ctx stops the run early; the partial results collected so
+// far are returned.
+func DeployAll(ctx context.Context, contractsList []Contract, progress func(done int)) []Result {
 	dev := device.New("corpus-runner")
 	out := make([]Result, 0, len(contractsList))
 	for i, c := range contractsList {
+		if ctx.Err() != nil {
+			break
+		}
 		dev.ResetMeasurement()
 		res := dev.Deploy(c.InitCode, 0)
 		out = append(out, Result{Contract: c, Deploy: res})

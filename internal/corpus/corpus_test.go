@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -54,7 +55,7 @@ func TestEveryContractIsValidBytecode(t *testing.T) {
 	// resource error — never with an invalid-opcode or bad-jump error,
 	// which would mean the generator emitted garbage.
 	contractsList := Generate(DefaultParams(200))
-	results := DeployAll(contractsList, nil)
+	results := DeployAll(context.Background(), contractsList, nil)
 	for _, r := range results {
 		err := r.Deploy.Err
 		if err == nil {
@@ -73,7 +74,7 @@ func TestEveryContractIsValidBytecode(t *testing.T) {
 
 func TestDeployedRuntimeMatchesGenerated(t *testing.T) {
 	contractsList := Generate(DefaultParams(60))
-	results := DeployAll(contractsList, nil)
+	results := DeployAll(context.Background(), contractsList, nil)
 	for _, r := range results {
 		if r.Deploy.Err != nil {
 			continue
@@ -94,7 +95,7 @@ func TestCalibration(t *testing.T) {
 		t.Skip("calibration needs a medium sample")
 	}
 	n := 600
-	results := DeployAll(Generate(DefaultParams(n)), nil)
+	results := DeployAll(context.Background(), Generate(DefaultParams(n)), nil)
 
 	var sizes, times, memPeaks, stackTops []float64
 	success := 0
@@ -176,7 +177,7 @@ func TestCalibration(t *testing.T) {
 
 func TestProgressCallback(t *testing.T) {
 	calls := 0
-	DeployAll(Generate(DefaultParams(5)), func(done int) { calls = done })
+	DeployAll(context.Background(), Generate(DefaultParams(5)), func(done int) { calls = done })
 	if calls != 5 {
 		t.Fatalf("progress reported %d", calls)
 	}

@@ -11,6 +11,7 @@ package eval
 // reports throughput and speedup.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -208,8 +209,12 @@ type EngineReport struct {
 
 // RunEngineThroughput mines the same multi-device batch serially and
 // with the parallel engine at each worker count, verifying receipts
-// against the serial baseline and measuring throughput.
-func RunEngineThroughput(p EngineWorkloadParams, workerCounts []int) (*EngineReport, error) {
+// against the serial baseline and measuring throughput. Cancelling ctx
+// aborts between runs with the context's error.
+func RunEngineThroughput(ctx context.Context, p EngineWorkloadParams, workerCounts []int) (*EngineReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	w, err := BuildEngineWorkload(p)
 	if err != nil {
 		return nil, err
@@ -239,6 +244,9 @@ func RunEngineThroughput(p EngineWorkloadParams, workerCounts []int) (*EngineRep
 	})
 
 	for _, workers := range workerCounts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		parChain, err := w.NewChain()
 		if err != nil {
 			return nil, err

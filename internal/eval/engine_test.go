@@ -1,10 +1,13 @@
 package eval
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunEngineThroughputSmall(t *testing.T) {
 	p := EngineWorkloadParams{Devices: 8, TxPerDevice: 3, ConflictFraction: 0.1, WorkLoops: 20}
-	rep, err := RunEngineThroughput(p, []int{1, 4})
+	rep, err := RunEngineThroughput(context.Background(), p, []int{1, 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -86,8 +87,9 @@ type CorpusReport struct {
 
 // RunCorpus generates and deploys n synthetic contracts (the paper used
 // 7,000) and aggregates the Table II / Figure 3-4 measurements.
-func RunCorpus(n int, progress func(done int)) CorpusReport {
-	results := corpus.DeployAll(corpus.Generate(corpus.DefaultParams(n)), progress)
+// Cancelling ctx stops deployment early and aggregates the partial run.
+func RunCorpus(ctx context.Context, n int, progress func(done int)) CorpusReport {
+	results := corpus.DeployAll(ctx, corpus.Generate(corpus.DefaultParams(n)), progress)
 	rep := CorpusReport{N: n}
 	for _, r := range results {
 		size := float64(r.Deploy.BytecodeSize)
@@ -264,8 +266,9 @@ type RoundReport struct {
 }
 
 // RunRounds executes the canonical parking round `reps` times (the paper
-// runs "over 200 times") and aggregates.
-func RunRounds(reps int) (*RoundReport, error) {
+// runs "over 200 times") and aggregates. Cancelling ctx aborts between
+// rounds with the context's error.
+func RunRounds(ctx context.Context, reps int) (*RoundReport, error) {
 	rep := &RoundReport{Reps: reps}
 
 	var sumRows [5]float64
@@ -273,6 +276,9 @@ func RunRounds(reps int) (*RoundReport, error) {
 	order := make([]device.EnergyRow, 0, 5)
 
 	for i := 0; i < reps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s, err := protocol.NewScenario(int64(i + 1))
 		if err != nil {
 			return nil, err

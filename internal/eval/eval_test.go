@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func TestTableIMatchesPaper(t *testing.T) {
 }
 
 func TestCorpusExperimentSmall(t *testing.T) {
-	rep := RunCorpus(150, nil)
+	rep := RunCorpus(context.Background(), 150, nil)
 	if rep.N != 150 {
 		t.Fatalf("N = %d", rep.N)
 	}
@@ -88,7 +89,7 @@ func TestTableV(t *testing.T) {
 }
 
 func TestRoundsAggregate(t *testing.T) {
-	rep, err := RunRounds(3)
+	rep, err := RunRounds(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}

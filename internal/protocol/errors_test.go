@@ -1,0 +1,134 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestErrorTaxonomy drives each misuse path of the channel protocol and
+// asserts that the returned error matches the canonical sentinel through
+// errors.Is, matches the deprecated alias, and carries a *ChannelError
+// for errors.As.
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name  string
+		want  error // canonical sentinel
+		alias error // deprecated name, must keep matching
+		run   func(t *testing.T, s *Scenario, channelID uint64) error
+	}{
+		{
+			name:  "stale sequence",
+			want:  ErrStaleSequence,
+			alias: ErrBadSeq,
+			run: func(t *testing.T, s *Scenario, id uint64) error {
+				pay, err := s.Car.Pay(id, 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Lot.ReceivePayment(); err != nil {
+					t.Fatal(err)
+				}
+				// Replay the already-accepted payment.
+				if _, err := s.Car.Radio.Send(s.Lot.Address(), EncodePayment(pay)); err != nil {
+					t.Fatal(err)
+				}
+				_, err = s.Lot.ReceivePayment()
+				return err
+			},
+		},
+		{
+			name:  "overspend",
+			want:  ErrInsufficientChannelBalance,
+			alias: ErrExceedsDeposit,
+			run: func(t *testing.T, s *Scenario, id uint64) error {
+				_, err := s.Car.Pay(id, 10_001) // deposit is 10_000
+				return err
+			},
+		},
+		{
+			name:  "double close",
+			want:  ErrChannelClosed,
+			alias: ErrChannelClosed,
+			run: func(t *testing.T, s *Scenario, id uint64) error {
+				if _, err := s.Car.CloseChannel(id); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Lot.AcceptClose(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Car.FinishClose(); err != nil {
+					t.Fatal(err)
+				}
+				_, err := s.Car.CloseChannel(id)
+				return err
+			},
+		},
+		{
+			name:  "bad signature",
+			want:  ErrSignature,
+			alias: ErrBadSigner,
+			run: func(t *testing.T, s *Scenario, id uint64) error {
+				pay, err := s.Car.Pay(id, 100)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Lot.ReceivePayment(); err != nil {
+					t.Fatal(err)
+				}
+				// Forge the next payment: correct fields, stripped
+				// signature flips to a missing/invalid one.
+				forged := *pay
+				forged.Seq = pay.Seq + 1
+				forged.Cumulative = pay.Cumulative + 100
+				forged.Sig = nil
+				if _, err := s.Car.Radio.Send(s.Lot.Address(), EncodePayment(&forged)); err != nil {
+					t.Fatal(err)
+				}
+				_, err = s.Lot.ReceivePayment()
+				return err
+			},
+		},
+		{
+			name:  "unknown channel",
+			want:  ErrUnknownChannel,
+			alias: ErrNoChannel,
+			run: func(t *testing.T, s *Scenario, id uint64) error {
+				_, err := s.Car.Pay(id+9999, 1)
+				return err
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewScenario(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := s.Car.OpenChannel(s.Lot.Address(), 10_000, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Lot.AcceptChannel(); err != nil {
+				t.Fatal(err)
+			}
+
+			got := tc.run(t, s, cs.ID)
+			if got == nil {
+				t.Fatal("expected an error, got nil")
+			}
+			if !errors.Is(got, tc.want) {
+				t.Errorf("errors.Is(%v, %v) = false", got, tc.want)
+			}
+			if !errors.Is(got, tc.alias) {
+				t.Errorf("deprecated alias no longer matches: %v vs %v", got, tc.alias)
+			}
+			var cerr *ChannelError
+			if !errors.As(got, &cerr) {
+				t.Errorf("errors.As(*ChannelError) failed for %v", got)
+			} else if cerr.Op == "" {
+				t.Errorf("ChannelError.Op empty for %v", got)
+			}
+		})
+	}
+}

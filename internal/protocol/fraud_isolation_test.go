@@ -1,0 +1,141 @@
+package protocol
+
+import (
+	"testing"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/device"
+	"tinyevm/internal/radio"
+)
+
+// TestFraudTableKeysByOpener: a fraud record against the provider on
+// one opener's channel must not taint another opener's channel that
+// shares the same logical-clock id (both cars' first channel is wire
+// id 1).
+func TestFraudTableKeysByOpener(t *testing.T) {
+	c := chain.New()
+	net := radio.NewNetwork(radio.DefaultConfig(), 1)
+
+	mkDev := func(name string) *device.Device {
+		dev := device.New(name)
+		dev.Sensors.RegisterValue(device.SensorTemperature, 2000)
+		c.Fund(dev.Address(), 100_000_000)
+		return dev
+	}
+	provDev, aDev, bDev := mkDev("prov"), mkDev("car-a"), mkDev("car-b")
+
+	tpl := InstallTemplate(c, provDev.Address(), 3)
+	newP := func(dev *device.Device) *Party {
+		p, err := NewParty(dev, net.Join(dev), tpl.Addr, provDev.Address())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	prov, a, b := newP(provDev), newP(aDev), newP(bDev)
+
+	// On-chain deposits: both cars lock 1_000.
+	for _, p := range []*Party{a, b} {
+		if r, err := p.DepositOnChain(c, 1_000); err != nil || !r.Status {
+			t.Fatalf("deposit: %v %+v", err, r)
+		}
+	}
+
+	// Both cars open their FIRST channel to the provider: wire id 1 each.
+	openTo := func(car *Party) *ChannelState {
+		cs, err := car.OpenChannel(prov.Address(), 1_000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := prov.AcceptChannel(); err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	csA := openTo(a)
+	csB := openTo(b)
+	if csA.WireID != csB.WireID {
+		t.Fatalf("test requires colliding wire ids, got %d and %d", csA.WireID, csB.WireID)
+	}
+
+	closeRound := func(car *Party, id uint64) *FinalState {
+		if _, err := car.CloseChannel(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := prov.AcceptClose(); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := car.FinishClose()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	pay := func(car *Party, id, amt uint64) {
+		if _, err := car.Pay(id, amt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := prov.ReceivePayment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Car A: checkpoint at 100, then continue to 200.
+	pay(a, csA.ID, 100)
+	staleA := closeRound(a, csA.ID)
+	if err := a.Reopen(csA.ID); err != nil {
+		t.Fatal(err)
+	}
+	provCSA, _ := prov.ChannelByOpener(csA.Template, csA.WireID, a.Address())
+	if err := prov.Reopen(provCSA.ID); err != nil {
+		t.Fatal(err)
+	}
+	pay(a, csA.ID, 100)
+	freshA := closeRound(a, csA.ID)
+
+	// Car B: an honest 500 session.
+	pay(b, csB.ID, 500)
+	fsB := closeRound(b, csB.ID)
+
+	// The PROVIDER cheats on A's channel with the stale checkpoint; A
+	// supersedes it — fraud is recorded against the provider on
+	// (opener A, id 1) only.
+	if r, err := prov.CommitOnChain(c, staleA); err != nil || !r.Status {
+		t.Fatalf("stale commit: %v %+v", err, r)
+	}
+	if r, err := a.CommitOnChain(c, freshA); err != nil || !r.Status {
+		t.Fatalf("supersede: %v %+v", err, r)
+	}
+	if got := tpl.FraudChannels(prov.Address()); len(got) != 1 {
+		t.Fatalf("fraud records: %v", got)
+	}
+	// B's honest state commits too.
+	if r, err := prov.CommitOnChain(c, fsB); err != nil || !r.Status {
+		t.Fatalf("commit B: %v %+v", err, r)
+	}
+
+	if r, err := a.ExitOnChain(c); err != nil || !r.Status {
+		t.Fatalf("exit: %v %+v", err, r)
+	}
+	exit, _ := tpl.Exit()
+	for c.Head().Number <= exit.Deadline {
+		c.MineBlock()
+	}
+
+	aBefore := c.BalanceOf(a.Address())
+	bBefore := c.BalanceOf(b.Address())
+	if r, err := prov.SettleOnChain(c); err != nil || !r.Status {
+		t.Fatalf("settle: %v %+v", err, r)
+	}
+
+	// A: provider's fraud on A's channel forfeits its 200 earnings back
+	// to A, plus the 800 unspent deposit -> +1000.
+	if d := c.BalanceOf(a.Address()) - aBefore; d != 1_000 {
+		t.Fatalf("car A settlement delta = %d, want 1000", d)
+	}
+	// B: honest channel — provider keeps the 500, B is refunded 500.
+	// (The pre-fix bare-id fraud table wrongly forfeited B's 500 too.)
+	if d := c.BalanceOf(b.Address()) - bBefore; d != 500 {
+		t.Fatalf("car B settlement delta = %d, want 500", d)
+	}
+}

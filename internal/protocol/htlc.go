@@ -54,16 +54,17 @@ func (s Secret) Lock() types.Hash { return types.HashData(s[:]) }
 func (p *Party) PayConditional(channelID, amount uint64, lock types.Hash) (*Payment, error) {
 	cs, ok := p.channels[channelID]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+		return nil, chanErr("pay conditional", channelID, ErrUnknownChannel)
 	}
 	if cs.Closed() {
-		return nil, ErrChannelClosed
+		return nil, chanErr("pay conditional", channelID, ErrChannelClosed)
 	}
 	if cs.PendingHTLC != nil {
-		return nil, ErrHTLCOutstanding
+		return nil, chanErr("pay conditional", channelID, ErrHTLCOutstanding)
 	}
 	if cs.Cumulative+amount > cs.Deposit {
-		return nil, fmt.Errorf("%w: %d + %d > %d", ErrExceedsDeposit, cs.Cumulative, amount, cs.Deposit)
+		return nil, chanErrf("pay conditional", channelID, "%w: %d + %d > %d",
+			ErrInsufficientChannelBalance, cs.Cumulative, amount, cs.Deposit)
 	}
 
 	pay := &Payment{
@@ -84,6 +85,7 @@ func (p *Party) PayConditional(channelID, amount uint64, lock types.Hash) (*Paym
 	}
 	pay.Sig = sig
 	cs.PendingHTLC = pay
+	cs.PendingInbound = false
 
 	if _, err := p.Radio.Send(cs.Peer, EncodePayment(pay)); err != nil {
 		return nil, err
@@ -105,24 +107,27 @@ func (p *Party) ReceiveConditional() (*Payment, error) {
 	if pay.HashLock.IsZero() {
 		return nil, fmt.Errorf("%w: expected a hash-locked payment", ErrBadMessage)
 	}
-	cs, ok := p.channelByWire(pay.Template, pay.ChannelID)
+	cs, ok := p.channelByWire(pay.Template, pay.ChannelID, msg.From)
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, pay.ChannelID)
+		return nil, chanErr("receive conditional", pay.ChannelID, ErrUnknownChannel)
 	}
 	if cs.PendingHTLC != nil {
-		return nil, ErrHTLCOutstanding
+		return nil, chanErr("receive conditional", cs.ID, ErrHTLCOutstanding)
 	}
 	if pay.Seq != cs.Seq+1 {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadSeq, pay.Seq, cs.Seq+1)
+		return nil, chanErrf("receive conditional", cs.ID, "%w: got %d, want %d",
+			ErrStaleSequence, pay.Seq, cs.Seq+1)
 	}
 	if pay.Cumulative < cs.Cumulative || pay.Cumulative > cs.Deposit {
-		return nil, fmt.Errorf("%w: cumulative %d", ErrExceedsDeposit, pay.Cumulative)
+		return nil, chanErrf("receive conditional", cs.ID, "%w: cumulative %d",
+			ErrInsufficientChannelBalance, pay.Cumulative)
 	}
 	p.chargeKeccak(1, "payment digest")
 	if pay.Sig == nil || !p.Dev.Crypto.Verify(pay.Digest(), pay.Sig, cs.Peer) {
-		return nil, ErrBadSigner
+		return nil, chanErr("receive conditional", cs.ID, ErrSignature)
 	}
 	cs.PendingHTLC = pay
+	cs.PendingInbound = true
 	return pay, nil
 }
 
@@ -132,20 +137,24 @@ func (p *Party) ReceiveConditional() (*Payment, error) {
 func (p *Party) ClaimConditional(channelID uint64, secret Secret) (*Payment, error) {
 	cs, ok := p.channels[channelID]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+		return nil, chanErr("claim conditional", channelID, ErrUnknownChannel)
 	}
 	return p.claimOn(cs, secret)
 }
 
 // ClaimReceived resolves a pending inbound hash-locked payment
-// identified by the payment message itself (wire identity); routing uses
-// it because local handles differ between the two ends of a channel.
+// identified by the payment message itself; routing uses it because
+// local handles differ between the two ends of a channel. The channel
+// is found by matching the outstanding conditional payment's digest,
+// which is collision-free across peers.
 func (p *Party) ClaimReceived(pay *Payment, secret Secret) (*Payment, error) {
-	cs, ok := p.channelByWire(pay.Template, pay.ChannelID)
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, pay.ChannelID)
+	want := pay.Digest()
+	for _, cs := range p.channels {
+		if cs.PendingHTLC != nil && cs.PendingInbound && cs.PendingHTLC.Digest() == want {
+			return p.claimOn(cs, secret)
+		}
 	}
-	return p.claimOn(cs, secret)
+	return nil, chanErr("claim received", pay.ChannelID, ErrNoPendingHTLC)
 }
 
 func (p *Party) claimOn(cs *ChannelState, secret Secret) (*Payment, error) {
@@ -178,17 +187,34 @@ func (p *Party) AcceptClaim() (*Payment, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs, ok := p.channelByWire(claim.Template, claim.ChannelID)
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, claim.ChannelID)
-	}
-	pay := cs.PendingHTLC
-	if pay == nil || pay.Seq != claim.Seq {
-		return nil, ErrNoPendingHTLC
-	}
+	// Resolve by the outstanding conditional payment itself. Claims
+	// travel receiver -> payer, so only an OUTBOUND pending HTLC (one
+	// this party sent) can be claimed here — a routing intermediary also
+	// holds the inbound HTLC with the same hash lock, possibly under a
+	// colliding wire id, and must not finalize that one.
+	var (
+		cs  *ChannelState
+		pay *Payment
+	)
 	p.chargeKeccak(1, "hash lock check")
-	if claim.Preimage.Lock() != pay.HashLock {
-		return nil, ErrWrongPreimage
+	lock := claim.Preimage.Lock()
+	wrongLock := false
+	for _, cand := range p.channels {
+		h := cand.PendingHTLC
+		if h == nil || cand.PendingInbound || cand.Template != claim.Template || cand.WireID != claim.ChannelID || h.Seq != claim.Seq {
+			continue
+		}
+		if h.HashLock == lock {
+			cs, pay = cand, h
+			break
+		}
+		wrongLock = true
+	}
+	if pay == nil {
+		if wrongLock {
+			return nil, ErrWrongPreimage
+		}
+		return nil, chanErr("accept claim", claim.ChannelID, ErrNoPendingHTLC)
 	}
 	p.finalizeHTLC(cs, pay, claim.Preimage)
 	return pay, nil
@@ -199,7 +225,7 @@ func (p *Party) AcceptClaim() (*Payment, error) {
 func (p *Party) CancelConditional(channelID uint64) error {
 	cs, ok := p.channels[channelID]
 	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+		return chanErr("cancel conditional", channelID, ErrUnknownChannel)
 	}
 	if cs.PendingHTLC == nil {
 		return ErrNoPendingHTLC
@@ -222,6 +248,7 @@ func (p *Party) finalizeHTLC(cs *ChannelState, pay *Payment, secret Secret) {
 	cs.Cumulative = pay.Cumulative
 	cs.LastPayment = pay
 	cs.PendingHTLC = nil
+	cs.PendingInbound = false
 	cs.LastPreimage = secret
 }
 

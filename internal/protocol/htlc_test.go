@@ -371,8 +371,8 @@ func TestChannelIDCollisionAcrossTemplates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// b holds two distinct channel records.
-	inCS, ok1 := b.channelByWire(a.OnChainTemplate, csA.WireID)
-	outCS, ok2 := b.channelByWire(b.OnChainTemplate, csB.WireID)
+	inCS, ok1 := b.channelByWire(a.OnChainTemplate, csA.WireID, a.Address())
+	outCS, ok2 := b.channelByWire(b.OnChainTemplate, csB.WireID, b.Address())
 	if !ok1 || !ok2 || inCS == outCS {
 		t.Fatal("channel records collided")
 	}

@@ -1,8 +1,8 @@
 package protocol
 
 import (
-	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"tinyevm/internal/chain"
@@ -11,16 +11,6 @@ import (
 	"tinyevm/internal/radio"
 	"tinyevm/internal/types"
 	"tinyevm/internal/uint256"
-)
-
-// Party errors.
-var (
-	ErrNoChannel      = errors.New("protocol: unknown channel")
-	ErrBadSeq         = errors.New("protocol: sequence number out of order")
-	ErrBadSigner      = errors.New("protocol: payment signed by wrong party")
-	ErrDecreasing     = errors.New("protocol: cumulative amount decreased")
-	ErrChannelClosed  = errors.New("protocol: channel already closed")
-	ErrExceedsDeposit = errors.New("protocol: payment exceeds channel deposit")
 )
 
 // Role distinguishes the paying and the paid side of a channel.
@@ -35,11 +25,15 @@ const (
 )
 
 // ChannelKey is a channel's globally unique wire identity: the on-chain
-// template it settles against plus that template's logical-clock value.
-// Logical clocks are only unique per template, so nodes participating in
-// multiple templates (payment routing) key their tables by this pair.
+// template it settles against, the address of the party that opened it,
+// and the opener's logical-clock value. Logical clocks live on each
+// device's LOCAL template copy, so they are only unique per opener —
+// two cars opening their first channel against the same provider both
+// call it "channel 1" — and receivers serving many peers must key their
+// tables by the full triple.
 type ChannelKey struct {
 	Template types.Address
+	Opener   types.Address
 	ID       uint64
 }
 
@@ -58,6 +52,10 @@ type ChannelState struct {
 	Addr types.Address
 	// Peer is the counterparty's address.
 	Peer types.Address
+	// Opener is the address of the party that created the channel (the
+	// sender side); together with Template and WireID it forms the
+	// channel's collision-free wire identity.
+	Opener types.Address
 	// Role is this party's side.
 	Role Role
 	// Deposit is the channel's locked amount.
@@ -70,6 +68,11 @@ type ChannelState struct {
 	LastPayment *Payment
 	// PendingHTLC is an outstanding conditional (hash-locked) payment.
 	PendingHTLC *Payment
+	// PendingInbound records the direction of PendingHTLC: true when it
+	// was received (awaiting our claim), false when we sent it (awaiting
+	// the peer's preimage). Routing intermediaries hold one of each,
+	// possibly under colliding wire ids, so claims must not guess.
+	PendingInbound bool
 	// LastPreimage is the most recently revealed hash-lock preimage.
 	LastPreimage Secret
 	// Final is the doubly-signed close state, once closed.
@@ -132,18 +135,21 @@ func (p *Party) registerChannel(cs *ChannelState) uint64 {
 	}
 	cs.ID = handle
 	p.channels[handle] = cs
-	p.wireIndex[ChannelKey{Template: cs.Template, ID: cs.WireID}] = handle
+	p.wireIndex[ChannelKey{Template: cs.Template, Opener: cs.Opener, ID: cs.WireID}] = handle
 	return handle
 }
 
 // channelByWire resolves a wire identity to the local channel state.
-func (p *Party) channelByWire(template types.Address, wireID uint64) (*ChannelState, bool) {
-	handle, ok := p.wireIndex[ChannelKey{Template: template, ID: wireID}]
-	if !ok {
-		return nil, false
+// from is the transmitting peer: the channel was opened either by that
+// peer or by this party, so both opener candidates are tried.
+func (p *Party) channelByWire(template types.Address, wireID uint64, from types.Address) (*ChannelState, bool) {
+	for _, opener := range [2]types.Address{from, p.Address()} {
+		if handle, ok := p.wireIndex[ChannelKey{Template: template, Opener: opener, ID: wireID}]; ok {
+			cs, ok := p.channels[handle]
+			return cs, ok
+		}
 	}
-	cs, ok := p.channels[handle]
-	return cs, ok
+	return nil, false
 }
 
 // Address returns the party's device address.
@@ -160,6 +166,49 @@ func (p *Party) chargeKeccak(n int, label string) {
 func (p *Party) Channel(id uint64) (*ChannelState, bool) {
 	cs, ok := p.channels[id]
 	return cs, ok
+}
+
+// ChannelByWire resolves a channel by the wire identity carried in a
+// message from the given peer: the on-chain template, the logical-clock
+// id, and the sending peer (the opener is either that peer or this
+// party).
+func (p *Party) ChannelByWire(template types.Address, wireID uint64, from types.Address) (*ChannelState, bool) {
+	return p.channelByWire(template, wireID, from)
+}
+
+// ChannelByOpener resolves a channel by its exact wire identity; close
+// messages carry the opener explicitly (FinalState.Sender), so no
+// guessing is involved.
+func (p *Party) ChannelByOpener(template types.Address, wireID uint64, opener types.Address) (*ChannelState, bool) {
+	handle, ok := p.wireIndex[ChannelKey{Template: template, Opener: opener, ID: wireID}]
+	if !ok {
+		return nil, false
+	}
+	cs, ok := p.channels[handle]
+	return cs, ok
+}
+
+// ChannelOf finds the channel a just-processed payment belongs to, by
+// pointer identity against the channel's recorded payment state —
+// collision-free where wire ids alone are ambiguous.
+func (p *Party) ChannelOf(pay *Payment) (*ChannelState, bool) {
+	for _, cs := range p.channels {
+		if cs.LastPayment == pay || cs.PendingHTLC == pay {
+			return cs, true
+		}
+	}
+	return nil, false
+}
+
+// ChannelList returns every channel, sorted by local handle for
+// deterministic iteration.
+func (p *Party) ChannelList() []*ChannelState {
+	out := make([]*ChannelState, 0, len(p.channels))
+	for _, cs := range p.channels {
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // SendSensorData reads the given sensors and transmits the readings to
@@ -224,6 +273,7 @@ func (p *Party) OpenChannel(peer types.Address, deposit uint64, sensorParam uint
 		Template:    p.OnChainTemplate,
 		Addr:        chAddr,
 		Peer:        peer,
+		Opener:      p.Address(),
 		Role:        RoleSender,
 		Deposit:     deposit,
 		SensorValue: w.Uint64(),
@@ -269,6 +319,7 @@ func (p *Party) AcceptChannel() (*ChannelState, error) {
 		Template:    open.Template,
 		Addr:        contracts.WordToAddress(res.ReturnData),
 		Peer:        msg.From,
+		Opener:      msg.From,
 		Role:        RoleReceiver,
 		Deposit:     open.Deposit,
 		SensorValue: open.SensorValue,
@@ -285,13 +336,14 @@ func (p *Party) AcceptChannel() (*ChannelState, error) {
 func (p *Party) Pay(channelID uint64, amount uint64) (*Payment, error) {
 	cs, ok := p.channels[channelID]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+		return nil, chanErr("pay", channelID, ErrUnknownChannel)
 	}
 	if cs.Closed() {
-		return nil, ErrChannelClosed
+		return nil, chanErr("pay", channelID, ErrChannelClosed)
 	}
 	if cs.Cumulative+amount > cs.Deposit {
-		return nil, fmt.Errorf("%w: %d + %d > %d", ErrExceedsDeposit, cs.Cumulative, amount, cs.Deposit)
+		return nil, chanErrf("pay", channelID, "%w: %d + %d > %d",
+			ErrInsufficientChannelBalance, cs.Cumulative, amount, cs.Deposit)
 	}
 
 	pay := &Payment{
@@ -346,25 +398,28 @@ func (p *Party) ReceivePayment() (*Payment, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs, ok := p.channelByWire(pay.Template, pay.ChannelID)
+	cs, ok := p.channelByWire(pay.Template, pay.ChannelID, msg.From)
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, pay.ChannelID)
+		return nil, chanErr("receive payment", pay.ChannelID, ErrUnknownChannel)
 	}
 	if cs.Closed() {
-		return nil, ErrChannelClosed
+		return nil, chanErr("receive payment", cs.ID, ErrChannelClosed)
 	}
 	if pay.Seq != cs.Seq+1 {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadSeq, pay.Seq, cs.Seq+1)
+		return nil, chanErrf("receive payment", cs.ID, "%w: got %d, want %d",
+			ErrStaleSequence, pay.Seq, cs.Seq+1)
 	}
 	if pay.Cumulative < cs.Cumulative {
-		return nil, fmt.Errorf("%w: %d < %d", ErrDecreasing, pay.Cumulative, cs.Cumulative)
+		return nil, chanErrf("receive payment", cs.ID, "%w: %d < %d",
+			ErrDecreasingCumulative, pay.Cumulative, cs.Cumulative)
 	}
 	if pay.Cumulative > cs.Deposit {
-		return nil, fmt.Errorf("%w: %d > %d", ErrExceedsDeposit, pay.Cumulative, cs.Deposit)
+		return nil, chanErrf("receive payment", cs.ID, "%w: %d > %d",
+			ErrInsufficientChannelBalance, pay.Cumulative, cs.Deposit)
 	}
 	p.chargeKeccak(1, "payment digest")
 	if pay.Sig == nil || !p.Dev.Crypto.Verify(pay.Digest(), pay.Sig, cs.Peer) {
-		return nil, ErrBadSigner
+		return nil, chanErr("receive payment", cs.ID, ErrSignature)
 	}
 
 	// Mirror the state into the local channel contract and log.
@@ -394,10 +449,10 @@ func (p *Party) ReceivePayment() (*Payment, error) {
 func (p *Party) CloseChannel(channelID uint64) (*FinalState, error) {
 	cs, ok := p.channels[channelID]
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+		return nil, chanErr("close", channelID, ErrUnknownChannel)
 	}
 	if cs.Closed() {
-		return nil, ErrChannelClosed
+		return nil, chanErr("close", channelID, ErrChannelClosed)
 	}
 
 	var fs *FinalState
@@ -451,17 +506,21 @@ func (p *Party) AcceptClose() (*FinalState, error) {
 	if t != MsgCloseRequest {
 		return nil, ErrBadMsgType
 	}
-	cs, ok := p.channelByWire(fs.Template, fs.ChannelID)
+	// The final state names the channel opener (its sender side), so the
+	// lookup is exact even when two peers' logical clocks collide.
+	cs, ok := p.ChannelByOpener(fs.Template, fs.ChannelID, fs.Sender)
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, fs.ChannelID)
+		return nil, chanErr("accept close", fs.ChannelID, ErrUnknownChannel)
 	}
 	if fs.Cumulative != cs.Cumulative {
-		return nil, fmt.Errorf("%w: final %d != local %d", ErrDecreasing, fs.Cumulative, cs.Cumulative)
+		return nil, chanErrf("accept close", cs.ID, "%w: final %d != local %d",
+			ErrDecreasingCumulative, fs.Cumulative, cs.Cumulative)
 	}
 	// The close either references the last accepted payment state
 	// (same sequence number) or a fresh signed state beyond it.
 	if fs.Seq < cs.Seq {
-		return nil, fmt.Errorf("%w: final seq %d < %d", ErrBadSeq, fs.Seq, cs.Seq)
+		return nil, chanErrf("accept close", cs.ID, "%w: final seq %d < %d",
+			ErrStaleSequence, fs.Seq, cs.Seq)
 	}
 
 	digest := fs.Digest()
@@ -475,10 +534,10 @@ func (p *Party) AcceptClose() (*FinalState, error) {
 		peerSig = fs.SigReceiver
 	}
 	if peerSig == nil {
-		return nil, ErrBadSigner
+		return nil, chanErr("accept close", cs.ID, ErrSignature)
 	}
 	if !alreadyVerified && !p.Dev.Crypto.Verify(digest, peerSig, cs.Peer) {
-		return nil, ErrBadSigner
+		return nil, chanErr("accept close", cs.ID, ErrSignature)
 	}
 
 	p.Dev.SetPhase("sign final state")
@@ -521,9 +580,9 @@ func (p *Party) FinishClose() (*FinalState, error) {
 	if t != MsgCloseAck {
 		return nil, ErrBadMsgType
 	}
-	cs, ok := p.channelByWire(fs.Template, fs.ChannelID)
+	cs, ok := p.ChannelByOpener(fs.Template, fs.ChannelID, fs.Sender)
 	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoChannel, fs.ChannelID)
+		return nil, chanErr("finish close", fs.ChannelID, ErrUnknownChannel)
 	}
 	if err := fs.VerifySignatures(); err != nil {
 		return nil, err
@@ -544,7 +603,7 @@ func (p *Party) FinishClose() (*FinalState, error) {
 func (p *Party) Reopen(channelID uint64) error {
 	cs, ok := p.channels[channelID]
 	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoChannel, channelID)
+		return chanErr("reopen", channelID, ErrUnknownChannel)
 	}
 	if !cs.Closed() {
 		return nil
@@ -553,10 +612,19 @@ func (p *Party) Reopen(channelID uint64) error {
 	return nil
 }
 
+// TxSender is the slice of main-chain behaviour the party's phase-3
+// operations need: nonce lookup and submit-and-mine. *chain.Chain
+// satisfies it directly (serial block production); the service layer
+// substitutes a parallel-engine-backed producer.
+type TxSender interface {
+	NonceOf(types.Address) uint64
+	SendTransaction(*chain.Transaction) (*chain.Receipt, error)
+}
+
 // CommitOnChain submits a final state to the on-chain template as a
 // signed main-chain transaction (phase 3). The party must hold chain
 // funds for gas.
-func (p *Party) CommitOnChain(c *chain.Chain, fs *FinalState) (*chain.Receipt, error) {
+func (p *Party) CommitOnChain(c TxSender, fs *FinalState) (*chain.Receipt, error) {
 	p.Log.Append(LogCommit, fs.ChannelID, fs.Seq, fs.Cumulative)
 	target := fs.Template
 	tx := chain.NewTx(c.NonceOf(p.Address()), &target, 0, CommitTx(fs))
@@ -567,7 +635,7 @@ func (p *Party) CommitOnChain(c *chain.Chain, fs *FinalState) (*chain.Receipt, e
 }
 
 // DepositOnChain locks funds into the on-chain template.
-func (p *Party) DepositOnChain(c *chain.Chain, amount uint64) (*chain.Receipt, error) {
+func (p *Party) DepositOnChain(c TxSender, amount uint64) (*chain.Receipt, error) {
 	tx := chain.NewTx(c.NonceOf(p.Address()), &p.OnChainTemplate, amount, DepositTx())
 	if err := tx.Sign(p.Dev.Key()); err != nil {
 		return nil, err
@@ -576,7 +644,7 @@ func (p *Party) DepositOnChain(c *chain.Chain, amount uint64) (*chain.Receipt, e
 }
 
 // ExitOnChain starts the exit / challenge period.
-func (p *Party) ExitOnChain(c *chain.Chain) (*chain.Receipt, error) {
+func (p *Party) ExitOnChain(c TxSender) (*chain.Receipt, error) {
 	tx := chain.NewTx(c.NonceOf(p.Address()), &p.OnChainTemplate, 0, ExitTx())
 	if err := tx.Sign(p.Dev.Key()); err != nil {
 		return nil, err
@@ -585,7 +653,7 @@ func (p *Party) ExitOnChain(c *chain.Chain) (*chain.Receipt, error) {
 }
 
 // SettleOnChain dissolves the template after the challenge period.
-func (p *Party) SettleOnChain(c *chain.Chain) (*chain.Receipt, error) {
+func (p *Party) SettleOnChain(c TxSender) (*chain.Receipt, error) {
 	tx := chain.NewTx(c.NonceOf(p.Address()), &p.OnChainTemplate, 0, SettleTx())
 	if err := tx.Sign(p.Dev.Key()); err != nil {
 		return nil, err

@@ -1,8 +1,10 @@
 package protocol
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 
 	"tinyevm/internal/chain"
 	"tinyevm/internal/mst"
@@ -45,6 +47,14 @@ var (
 	ErrNotParticipant  = errors.New("protocol: caller not a participant")
 )
 
+// commitKey identifies a committed channel on the template. Channel ids
+// are logical-clock values of the SENDER's local template copy, so they
+// are only unique per sender; the on-chain table keys by the pair.
+type commitKey struct {
+	Sender types.Address
+	ID     uint64
+}
+
 // Commit is one accepted channel state on the template.
 type Commit struct {
 	// State is the accepted final state.
@@ -78,9 +88,12 @@ type Template struct {
 	ChallengePeriod uint64
 
 	deposits  map[types.Address]uint64
-	committed map[uint64]*Commit
-	// fraud maps a misbehaving address to the channels it cheated on.
-	fraud map[types.Address][]uint64
+	committed map[commitKey]*Commit
+	// fraud maps a misbehaving address to the channels it cheated on,
+	// keyed like the commit table — channel ids are only unique per
+	// opener, so a fraud record must not taint other openers' channels
+	// that share the id.
+	fraud map[types.Address][]commitKey
 	exit  *ExitRequest
 	// settled blocks all further operations once true.
 	settled bool
@@ -95,8 +108,8 @@ func InstallTemplate(c *chain.Chain, provider types.Address, challengePeriod uin
 		Provider:        provider,
 		ChallengePeriod: challengePeriod,
 		deposits:        make(map[types.Address]uint64),
-		committed:       make(map[uint64]*Commit),
-		fraud:           make(map[types.Address][]uint64),
+		committed:       make(map[commitKey]*Commit),
+		fraud:           make(map[types.Address][]commitKey),
 	}
 	// Deterministic address derived from the provider.
 	t.Addr = types.ContractAddress(provider, ^uint64(0))
@@ -161,7 +174,8 @@ func (t *Template) runCommit(c *chain.Chain, caller types.Address, payload []byt
 		return nil, ErrChallengeClosed
 	}
 
-	prev := t.committed[fs.ChannelID]
+	key := commitKey{Sender: fs.Sender, ID: fs.ChannelID}
+	prev := t.committed[key]
 	if prev != nil {
 		if fs.Seq <= prev.State.Seq {
 			return nil, fmt.Errorf("%w: seq %d <= %d", ErrStaleState, fs.Seq, prev.State.Seq)
@@ -172,10 +186,10 @@ func (t *Template) runCommit(c *chain.Chain, caller types.Address, payload []byt
 		// number prevents a node from misbehaving by reporting old
 		// states."
 		if prev.SubmittedBy != caller {
-			t.fraud[prev.SubmittedBy] = append(t.fraud[prev.SubmittedBy], fs.ChannelID)
+			t.fraud[prev.SubmittedBy] = append(t.fraud[prev.SubmittedBy], key)
 		}
 	}
-	t.committed[fs.ChannelID] = &Commit{State: *fs, SubmittedBy: caller, Block: now}
+	t.committed[key] = &Commit{State: *fs, SubmittedBy: caller, Block: now}
 	return nil, nil
 }
 
@@ -212,7 +226,8 @@ func (t *Template) runSettle(c *chain.Chain, caller types.Address) ([]byte, erro
 	}
 	payout := make(map[types.Address]uint64)
 
-	for channelID, cm := range t.committed {
+	for _, key := range t.commitKeys() {
+		cm := t.committed[key]
 		sender := cm.State.Sender
 		amount := cm.State.Cumulative
 		if amount > remaining[sender] {
@@ -221,11 +236,11 @@ func (t *Template) runSettle(c *chain.Chain, caller types.Address) ([]byte, erro
 		remaining[sender] -= amount
 
 		switch {
-		case t.isFraudulent(t.Provider, channelID):
+		case t.isFraudulent(t.Provider, key):
 			// Provider reported a stale state: its earnings for this
 			// channel are forfeited back to the sender.
 			payout[sender] += amount
-		case t.isFraudulent(sender, channelID):
+		case t.isFraudulent(sender, key):
 			// Sender reported a stale state: the provider additionally
 			// claims the sender's remaining deposit (the insurance).
 			payout[t.Provider] += amount + remaining[sender]
@@ -253,9 +268,9 @@ func (t *Template) runSettle(c *chain.Chain, caller types.Address) ([]byte, erro
 	return nil, nil
 }
 
-func (t *Template) isFraudulent(addr types.Address, channelID uint64) bool {
-	for _, id := range t.fraud[addr] {
-		if id == channelID {
+func (t *Template) isFraudulent(addr types.Address, key commitKey) bool {
+	for _, k := range t.fraud[addr] {
+		if k == key {
 			return true
 		}
 	}
@@ -267,9 +282,37 @@ func (t *Template) isFraudulent(addr types.Address, channelID uint64) bool {
 // DepositOf returns the locked deposit of addr.
 func (t *Template) DepositOf(addr types.Address) uint64 { return t.deposits[addr] }
 
-// Committed returns the latest accepted state for a channel.
+// commitKeys returns the committed channel keys in deterministic order
+// (sender address, then id).
+func (t *Template) commitKeys() []commitKey {
+	keys := make([]commitKey, 0, len(t.committed))
+	for k := range t.committed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Sender != keys[j].Sender {
+			return bytes.Compare(keys[i].Sender[:], keys[j].Sender[:]) < 0
+		}
+		return keys[i].ID < keys[j].ID
+	})
+	return keys
+}
+
+// Committed returns the latest accepted state for a channel id,
+// whichever sender committed it (ids are only unique per sender; use
+// CommittedBy when serving many peers).
 func (t *Template) Committed(channelID uint64) (*Commit, bool) {
-	cm, ok := t.committed[channelID]
+	for _, key := range t.commitKeys() {
+		if key.ID == channelID {
+			return t.committed[key], true
+		}
+	}
+	return nil, false
+}
+
+// CommittedBy returns the latest accepted state for a sender's channel.
+func (t *Template) CommittedBy(sender types.Address, channelID uint64) (*Commit, bool) {
+	cm, ok := t.committed[commitKey{Sender: sender, ID: channelID}]
 	return cm, ok
 }
 
@@ -280,18 +323,11 @@ func (t *Template) Root() (mst.Root, error) {
 	if len(t.committed) == 0 {
 		return mst.Root{}, nil
 	}
-	// Deterministic leaf order by channel id.
-	maxID := uint64(0)
-	for id := range t.committed {
-		if id > maxID {
-			maxID = id
-		}
-	}
+	// Deterministic leaf order by (sender, channel id).
 	leaves := make([]mst.Leaf, 0, len(t.committed))
-	for id := uint64(0); id <= maxID; id++ {
-		if cm, ok := t.committed[id]; ok {
-			leaves = append(leaves, mst.Leaf{Hash: cm.State.Digest(), Sum: cm.State.Cumulative})
-		}
+	for _, key := range t.commitKeys() {
+		cm := t.committed[key]
+		leaves = append(leaves, mst.Leaf{Hash: cm.State.Digest(), Sum: cm.State.Cumulative})
 	}
 	tree, err := mst.New(leaves)
 	if err != nil {
@@ -312,10 +348,13 @@ func (t *Template) Exit() (*ExitRequest, bool) {
 // Settled reports whether the template has been dissolved.
 func (t *Template) Settled() bool { return t.settled }
 
-// FraudChannels returns the channel ids addr was caught cheating on.
+// FraudChannels returns the channel ids addr was caught cheating on
+// (ids are only unique per opener; see FraudRecords for the full keys).
 func (t *Template) FraudChannels(addr types.Address) []uint64 {
-	out := make([]uint64, len(t.fraud[addr]))
-	copy(out, t.fraud[addr])
+	out := make([]uint64, 0, len(t.fraud[addr]))
+	for _, k := range t.fraud[addr] {
+		out = append(out, k.ID)
+	}
 	return out
 }
 

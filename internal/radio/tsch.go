@@ -246,6 +246,16 @@ func (ep *Endpoint) sendFrame(dst *Endpoint, chunk int) error {
 	return fmt.Errorf("%w after %d attempts", ErrLinkFailure, cfg.MaxRetries+1)
 }
 
+// Peek returns the oldest pending message without removing it, so a
+// dispatcher can route on the payload type before handing the inbox to
+// the protocol handler that pops it.
+func (ep *Endpoint) Peek() (Message, bool) {
+	if len(ep.inbox) == 0 {
+		return Message{}, false
+	}
+	return ep.inbox[0], true
+}
+
 // Receive pops the oldest pending message, if any.
 func (ep *Endpoint) Receive() (Message, bool) {
 	if len(ep.inbox) == 0 {

@@ -1,0 +1,235 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// Client is a Go client for the TinyEVM JSON-RPC gateway. It is safe
+// for concurrent use. Errors returned by the gateway are rebuilt onto
+// the protocol sentinels, so errors.Is(err, protocol.ErrStaleSequence)
+// works on the client side of the wire.
+type Client struct {
+	url    string
+	hc     *http.Client
+	nextID atomic.Uint64
+}
+
+// NewClient creates a client for the gateway at url (e.g.
+// "http://127.0.0.1:8545"). httpClient nil uses http.DefaultClient.
+func NewClient(url string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{url: url, hc: httpClient}
+}
+
+// Call performs one JSON-RPC call, decoding the result into out (out
+// nil discards it).
+func (c *Client) Call(ctx context.Context, method string, params, out any) error {
+	rawParams, err := json.Marshal(params)
+	if err != nil {
+		return fmt.Errorf("rpc: encoding params: %w", err)
+	}
+	id := c.nextID.Add(1)
+	body, err := json.Marshal(request{
+		Version: "2.0",
+		ID:      json.RawMessage(fmt.Sprintf("%d", id)),
+		Method:  method,
+		Params:  rawParams,
+	})
+	if err != nil {
+		return fmt.Errorf("rpc: encoding request: %w", err)
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(httpResp.Body, maxBody))
+	if err != nil {
+		return err
+	}
+
+	var resp response
+	if err := json.Unmarshal(respBody, &resp); err != nil {
+		return fmt.Errorf("rpc: bad response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	if resp.Error != nil {
+		return remoteError(resp.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(resp.Result, out)
+}
+
+// remoteError rebuilds a wire error. When the error data carries a
+// typed kind, the returned error wraps the matching sentinel.
+func remoteError(e *Error) error {
+	if e.Data != nil && e.Data.Kind != "" {
+		if sentinel := sentinelOf(e.Data.Kind); sentinel != nil {
+			return fmt.Errorf("rpc: %w: %s", sentinel, e.Message)
+		}
+	}
+	return e
+}
+
+// NodeInfo identifies a node on the gateway.
+type NodeInfo struct {
+	Name    string `json:"name"`
+	Address string `json:"address"`
+}
+
+// Provider returns the gateway's provider node.
+func (c *Client) Provider(ctx context.Context) (NodeInfo, error) {
+	var out NodeInfo
+	err := c.Call(ctx, "tinyevm_provider", nil, &out)
+	return out, err
+}
+
+// AddNode creates a node (with the gateway's default temperature
+// sensor installed).
+func (c *Client) AddNode(ctx context.Context, name string) (NodeInfo, error) {
+	var out NodeInfo
+	err := c.Call(ctx, "tinyevm_addNode", map[string]string{"name": name}, &out)
+	return out, err
+}
+
+// RegisterSensor installs a fixed-value sensor on a node.
+func (c *Client) RegisterSensor(ctx context.Context, node string, id, value uint64) error {
+	return c.Call(ctx, "tinyevm_registerSensor",
+		map[string]any{"node": node, "id": id, "value": value}, nil)
+}
+
+// OpenChannel opens an off-chain channel from node toward peer (hex
+// address or node name).
+func (c *Client) OpenChannel(ctx context.Context, node, peer string, deposit, sensorParam uint64) (Channel, error) {
+	var out Channel
+	err := c.Call(ctx, "tinyevm_openChannel",
+		map[string]any{"node": node, "peer": peer, "deposit": deposit, "sensorParam": sensorParam}, &out)
+	return out, err
+}
+
+// Pay sends an off-chain payment.
+func (c *Client) Pay(ctx context.Context, node string, channel, amount uint64) (Payment, error) {
+	var out Payment
+	err := c.Call(ctx, "tinyevm_pay",
+		map[string]any{"node": node, "channel": channel, "amount": amount}, &out)
+	return out, err
+}
+
+// CloseChannel runs the cooperative close handshake.
+func (c *Client) CloseChannel(ctx context.Context, node string, channel uint64) (FinalState, error) {
+	var out FinalState
+	err := c.Call(ctx, "tinyevm_closeChannel",
+		map[string]any{"node": node, "channel": channel}, &out)
+	return out, err
+}
+
+// Channel fetches a channel snapshot.
+func (c *Client) Channel(ctx context.Context, node string, channel uint64) (Channel, error) {
+	var out Channel
+	err := c.Call(ctx, "tinyevm_channel",
+		map[string]any{"node": node, "channel": channel}, &out)
+	return out, err
+}
+
+// Channels fetches every channel snapshot of a node.
+func (c *Client) Channels(ctx context.Context, node string) ([]Channel, error) {
+	var out []Channel
+	err := c.Call(ctx, "tinyevm_channels", map[string]any{"node": node}, &out)
+	return out, err
+}
+
+// Deposit locks funds into the on-chain template.
+func (c *Client) Deposit(ctx context.Context, node string, amount uint64) (Receipt, error) {
+	var out Receipt
+	err := c.Call(ctx, "tinyevm_deposit",
+		map[string]any{"node": node, "amount": amount}, &out)
+	return out, err
+}
+
+// Commit submits a closed channel's final state on-chain.
+func (c *Client) Commit(ctx context.Context, node string, channel uint64) (Receipt, error) {
+	var out Receipt
+	err := c.Call(ctx, "tinyevm_commit",
+		map[string]any{"node": node, "channel": channel}, &out)
+	return out, err
+}
+
+// Exit starts the on-chain challenge period.
+func (c *Client) Exit(ctx context.Context, node string) (Receipt, error) {
+	var out Receipt
+	err := c.Call(ctx, "tinyevm_exit", map[string]any{"node": node}, &out)
+	return out, err
+}
+
+// Settle dissolves the template after the challenge period.
+func (c *Client) Settle(ctx context.Context, node string) (Receipt, error) {
+	var out Receipt
+	err := c.Call(ctx, "tinyevm_settle", map[string]any{"node": node}, &out)
+	return out, err
+}
+
+// RunChallengePeriod advances the chain past the active exit deadline.
+func (c *Client) RunChallengePeriod(ctx context.Context) error {
+	return c.Call(ctx, "tinyevm_runChallengePeriod", nil, nil)
+}
+
+// Balance returns a main-chain balance (hex address or node name).
+func (c *Client) Balance(ctx context.Context, address string) (uint64, error) {
+	var out struct {
+		Balance uint64 `json:"balance"`
+	}
+	err := c.Call(ctx, "tinyevm_balance", map[string]string{"address": address}, &out)
+	return out.Balance, err
+}
+
+// Head returns the main-chain head block number.
+func (c *Client) Head(ctx context.Context) (uint64, error) {
+	var out struct {
+		Head uint64 `json:"head"`
+	}
+	err := c.Call(ctx, "tinyevm_head", nil, &out)
+	return out.Head, err
+}
+
+// Subscribe opens an event subscription on a node and returns its id.
+func (c *Client) Subscribe(ctx context.Context, node string) (string, error) {
+	var out struct {
+		Subscription string `json:"subscription"`
+	}
+	err := c.Call(ctx, "tinyevm_subscribe", map[string]string{"node": node}, &out)
+	return out.Subscription, err
+}
+
+// Poll long-polls a subscription: it blocks server-side until at least
+// one event arrives or timeoutMs expires, returning up to max events
+// and whether the stream has closed.
+func (c *Client) Poll(ctx context.Context, subscription string, max, timeoutMs int) ([]Event, bool, error) {
+	var out struct {
+		Events []Event `json:"events"`
+		Closed bool    `json:"closed"`
+	}
+	err := c.Call(ctx, "tinyevm_poll",
+		map[string]any{"subscription": subscription, "max": max, "timeoutMs": timeoutMs}, &out)
+	return out.Events, out.Closed, err
+}
+
+// Unsubscribe cancels a subscription.
+func (c *Client) Unsubscribe(ctx context.Context, subscription string) error {
+	return c.Call(ctx, "tinyevm_unsubscribe",
+		map[string]string{"subscription": subscription}, nil)
+}

@@ -1,0 +1,241 @@
+// Package rpc is the network surface of the TinyEVM service: a minimal
+// JSON-RPC 2.0 gateway over HTTP exposing the off-chain channel
+// protocol — open / pay / close / query / subscribe (long-poll) — plus
+// the phase-1/phase-3 on-chain operations, following the gateway
+// pattern for IoT–contract interaction: constrained devices (or their
+// digital twins) are driven by ordinary HTTP clients while the gateway
+// owns the radio, the devices and the simulated main chain.
+//
+// The protocol's typed error taxonomy crosses the wire: errors carry a
+// machine-readable "kind" in the JSON-RPC error data, and the Go Client
+// maps kinds back onto the protocol sentinels so errors.Is works on
+// both sides of the gateway.
+package rpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"tinyevm"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/radio"
+)
+
+// JSON-RPC 2.0 error codes.
+const (
+	codeParse          = -32700
+	codeInvalidRequest = -32600
+	codeMethodNotFound = -32601
+	codeInvalidParams  = -32602
+	codeServer         = -32000
+)
+
+// request is one JSON-RPC 2.0 call.
+type request struct {
+	Version string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params"`
+}
+
+// response is one JSON-RPC 2.0 reply.
+type response struct {
+	Version string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   *Error          `json:"error,omitempty"`
+}
+
+// Error is the JSON-RPC error object. Data.Kind carries the typed
+// protocol error, when one applies.
+type Error struct {
+	Code    int        `json:"code"`
+	Message string     `json:"message"`
+	Data    *ErrorData `json:"data,omitempty"`
+}
+
+// ErrorData is the structured part of an Error.
+type ErrorData struct {
+	// Kind is the kebab-case name of the matched protocol sentinel
+	// ("stale-sequence", "channel-closed", ...), empty when no sentinel
+	// matched.
+	Kind string `json:"kind,omitempty"`
+	// Channel is the failing channel handle when the error carried one.
+	Channel uint64 `json:"channel,omitempty"`
+	// Op is the protocol operation that failed, when known.
+	Op string `json:"op,omitempty"`
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.Message }
+
+// errorKinds maps protocol sentinels to wire kinds, in match order.
+var errorKinds = []struct {
+	err  error
+	kind string
+}{
+	{protocol.ErrStaleSequence, "stale-sequence"},
+	{protocol.ErrInsufficientChannelBalance, "insufficient-channel-balance"},
+	{protocol.ErrChannelClosed, "channel-closed"},
+	{protocol.ErrSignature, "bad-signature"},
+	{protocol.ErrDecreasingCumulative, "decreasing-cumulative"},
+	{protocol.ErrUnknownChannel, "unknown-channel"},
+	{protocol.ErrNoPendingHTLC, "no-pending-htlc"},
+	{protocol.ErrWrongPreimage, "wrong-preimage"},
+	{protocol.ErrHTLCOutstanding, "htlc-outstanding"},
+	{protocol.ErrStaleState, "stale-state"},
+	{protocol.ErrOverspend, "overspend"},
+	{protocol.ErrChallengeOpen, "challenge-open"},
+	{protocol.ErrChallengeClosed, "challenge-closed"},
+	{protocol.ErrExitActive, "exit-active"},
+	{protocol.ErrNoExit, "no-exit"},
+	{protocol.ErrSettled, "settled"},
+	{protocol.ErrBadMessage, "bad-message"},
+	{radio.ErrLinkFailure, "link-failure"},
+	{tinyevm.ErrUnknownNode, "unknown-node"},
+	{tinyevm.ErrServiceClosed, "service-closed"},
+	{tinyevm.ErrIncompleteClose, "incomplete-close"},
+	// Listed after the protocol sentinels so the wire kind names the
+	// concrete cause; local callers still branch on ErrDeliveryFailed.
+	{tinyevm.ErrDeliveryFailed, "delivery-failed"},
+	{context.Canceled, "canceled"},
+	{context.DeadlineExceeded, "deadline-exceeded"},
+}
+
+// kindOf returns the wire kind of err ("" when untyped).
+func kindOf(err error) string {
+	for _, ek := range errorKinds {
+		if errors.Is(err, ek.err) {
+			return ek.kind
+		}
+	}
+	return ""
+}
+
+// sentinelOf returns the protocol sentinel for a wire kind (nil when
+// unknown).
+func sentinelOf(kind string) error {
+	for _, ek := range errorKinds {
+		if ek.kind == kind {
+			return ek.err
+		}
+	}
+	return nil
+}
+
+// toError converts a service error to the wire error object.
+func toError(err error) *Error {
+	e := &Error{Code: codeServer, Message: err.Error()}
+	data := ErrorData{Kind: kindOf(err)}
+	var cerr *protocol.ChannelError
+	if errors.As(err, &cerr) {
+		data.Channel = cerr.Channel
+		data.Op = cerr.Op
+	}
+	if data != (ErrorData{}) {
+		e.Data = &data
+	}
+	return e
+}
+
+// --- wire representations ---------------------------------------------
+
+// Channel is the wire form of a channel-state snapshot.
+type Channel struct {
+	ID          uint64 `json:"id"`
+	WireID      uint64 `json:"wireId"`
+	Template    string `json:"template"`
+	Addr        string `json:"addr"`
+	Peer        string `json:"peer"`
+	Opener      string `json:"opener"`
+	Role        string `json:"role"`
+	Deposit     uint64 `json:"deposit"`
+	Seq         uint64 `json:"seq"`
+	Cumulative  uint64 `json:"cumulative"`
+	SensorValue uint64 `json:"sensorValue"`
+	Closed      bool   `json:"closed"`
+}
+
+func toChannel(cs tinyevm.ChannelState) Channel {
+	role := "sender"
+	if cs.Role == protocol.RoleReceiver {
+		role = "receiver"
+	}
+	return Channel{
+		ID:          cs.ID,
+		WireID:      cs.WireID,
+		Template:    cs.Template.Hex(),
+		Addr:        cs.Addr.Hex(),
+		Peer:        cs.Peer.Hex(),
+		Opener:      cs.Opener.Hex(),
+		Role:        role,
+		Deposit:     cs.Deposit,
+		Seq:         cs.Seq,
+		Cumulative:  cs.Cumulative,
+		SensorValue: cs.SensorValue,
+		Closed:      cs.Closed(),
+	}
+}
+
+// Payment is the wire form of one off-chain payment.
+type Payment struct {
+	Channel    uint64 `json:"channel"`
+	Seq        uint64 `json:"seq"`
+	Cumulative uint64 `json:"cumulative"`
+	HashLock   string `json:"hashLock,omitempty"`
+}
+
+// FinalState is the wire form of a doubly-signed close.
+type FinalState struct {
+	Channel    uint64 `json:"channel"`
+	Sender     string `json:"sender"`
+	Receiver   string `json:"receiver"`
+	Seq        uint64 `json:"seq"`
+	Cumulative uint64 `json:"cumulative"`
+	Signed     bool   `json:"signed"`
+}
+
+// Receipt is the wire form of an on-chain transaction receipt.
+type Receipt struct {
+	Status  bool   `json:"status"`
+	GasUsed uint64 `json:"gasUsed"`
+	Block   uint64 `json:"block"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Event is the wire form of a service event.
+type Event struct {
+	Type    string `json:"type"`
+	Node    string `json:"node,omitempty"`
+	Channel uint64 `json:"channel,omitempty"`
+	Peer    string `json:"peer,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Amount  uint64 `json:"amount,omitempty"`
+	Block   uint64 `json:"block,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// ErrorKind is the typed kind of Error, when one matched.
+	ErrorKind string `json:"errorKind,omitempty"`
+	// TimeUnixMs is the service clock timestamp.
+	TimeUnixMs int64 `json:"timeUnixMs"`
+}
+
+func toEvent(e tinyevm.Event) Event {
+	out := Event{
+		Type:       e.Type.String(),
+		Node:       e.Node,
+		Channel:    e.Channel,
+		Seq:        e.Seq,
+		Amount:     e.Amount,
+		Block:      e.Block,
+		TimeUnixMs: e.Time.UnixMilli(),
+	}
+	if !e.Peer.IsZero() {
+		out.Peer = e.Peer.Hex()
+	}
+	if e.Err != nil {
+		out.Error = e.Err.Error()
+		out.ErrorKind = kindOf(e.Err)
+	}
+	return out
+}

@@ -1,0 +1,552 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"tinyevm"
+	"tinyevm/internal/device"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/types"
+)
+
+// maxBody bounds a request body (1 MiB).
+const maxBody = 1 << 20
+
+// maxPollTimeout caps a long-poll wait.
+const maxPollTimeout = 30 * time.Second
+
+// DefaultSensorValue is the fixed temperature reading (centi-degrees C)
+// registered on nodes created over RPC, so channel-contract
+// constructors — which read the temperature sensor through the IoT
+// opcode — work for remote clients that cannot install Go sensor
+// handlers. Override per node with tinyevm_registerSensor.
+const DefaultSensorValue = 2150
+
+// Server serves the TinyEVM service over JSON-RPC 2.0. It implements
+// http.Handler; every request is a POST with a single JSON-RPC call.
+type Server struct {
+	svc *tinyevm.Service
+
+	mu      sync.Mutex
+	subs    map[string]*serverSub
+	nextSub uint64
+}
+
+// subIdleTTL is how long a subscription may go unpolled before the
+// server reaps it — abandoned clients (crashed, disconnected without
+// tinyevm_unsubscribe) must not leak goroutines and event queues.
+// The sweep runs on every request; a fully idle daemon also generates
+// no events, so queues cannot grow while no sweep runs.
+const subIdleTTL = 5 * time.Minute
+
+// serverSub is one live subscription with its long-poll state.
+type serverSub struct {
+	events <-chan tinyevm.Event
+	cancel context.CancelFunc
+
+	// lastPoll (guarded by the server mutex) drives idle reaping.
+	lastPoll time.Time
+
+	// pollMu serializes concurrent polls on the same subscription.
+	pollMu sync.Mutex
+}
+
+// sweepLocked reaps subscriptions idle past the TTL. Callers hold s.mu.
+func (s *Server) sweepLocked(now time.Time) {
+	for id, sub := range s.subs {
+		if now.Sub(sub.lastPoll) > subIdleTTL {
+			sub.cancel()
+			delete(s.subs, id)
+		}
+	}
+}
+
+// NewServer wraps a service.
+func NewServer(svc *tinyevm.Service) *Server {
+	return &Server{svc: svc, subs: make(map[string]*serverSub)}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		s.reply(w, nil, nil, &Error{Code: codeParse, Message: err.Error()})
+		return
+	}
+	var req request
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.reply(w, nil, nil, &Error{Code: codeParse, Message: "parse error: " + err.Error()})
+		return
+	}
+	if req.Version != "2.0" || req.Method == "" {
+		s.reply(w, req.ID, nil, &Error{Code: codeInvalidRequest, Message: "invalid request"})
+		return
+	}
+	s.mu.Lock()
+	s.sweepLocked(time.Now())
+	s.mu.Unlock()
+	result, rpcErr := s.dispatch(r.Context(), req.Method, req.Params)
+	s.reply(w, req.ID, result, rpcErr)
+}
+
+func (s *Server) reply(w http.ResponseWriter, id json.RawMessage, result any, rpcErr *Error) {
+	resp := response{Version: "2.0", ID: id}
+	if rpcErr != nil {
+		resp.Error = rpcErr
+	} else {
+		raw, err := json.Marshal(result)
+		if err != nil {
+			resp.Error = &Error{Code: codeServer, Message: err.Error()}
+		} else {
+			resp.Result = raw
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client gone
+}
+
+// decode unmarshals params strictly into dst.
+func decode(params json.RawMessage, dst any) *Error {
+	if len(params) == 0 {
+		params = []byte("{}")
+	}
+	dec := json.NewDecoder(bytes.NewReader(params))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &Error{Code: codeInvalidParams, Message: "invalid params: " + err.Error()}
+	}
+	return nil
+}
+
+// node resolves a node name.
+func (s *Server) node(name string) (*tinyevm.ServiceNode, *Error) {
+	sn, ok := s.svc.Node(name)
+	if !ok {
+		return nil, toError(fmt.Errorf("%w: %q", tinyevm.ErrUnknownNode, name))
+	}
+	return sn, nil
+}
+
+// addr parses a peer field holding either a hex address or a node name.
+func (s *Server) addr(v string) (types.Address, *Error) {
+	if strings.HasPrefix(v, "0x") {
+		a, err := types.HexToAddress(v)
+		if err != nil {
+			return types.Address{}, &Error{Code: codeInvalidParams, Message: err.Error()}
+		}
+		return a, nil
+	}
+	sn, rpcErr := s.node(v)
+	if rpcErr != nil {
+		return types.Address{}, rpcErr
+	}
+	return sn.Address(), nil
+}
+
+func toReceipt(r *tinyevm.Receipt) Receipt {
+	out := Receipt{Status: r.Status, GasUsed: r.GasUsed, Block: r.BlockNumber}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return out
+}
+
+// dispatch routes one method call.
+func (s *Server) dispatch(ctx context.Context, method string, params json.RawMessage) (any, *Error) {
+	switch method {
+	case "tinyevm_provider":
+		p := s.svc.Provider()
+		return map[string]string{"name": p.Name(), "address": p.Address().Hex()}, nil
+
+	case "tinyevm_addNode":
+		var in struct {
+			Name string `json:"name"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, err := s.svc.AddNode(ctx, in.Name)
+		if err != nil {
+			return nil, toError(err)
+		}
+		sn.RegisterSensor(device.SensorTemperature,
+			func(uint64) (uint64, error) { return DefaultSensorValue, nil })
+		return map[string]string{"name": sn.Name(), "address": sn.Address().Hex()}, nil
+
+	case "tinyevm_registerSensor":
+		var in struct {
+			Node  string `json:"node"`
+			ID    uint64 `json:"id"`
+			Value uint64 `json:"value"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		v := in.Value
+		sn.RegisterSensor(in.ID, func(uint64) (uint64, error) { return v, nil })
+		return map[string]bool{"ok": true}, nil
+
+	case "tinyevm_openChannel":
+		var in struct {
+			Node        string `json:"node"`
+			Peer        string `json:"peer"`
+			Deposit     uint64 `json:"deposit"`
+			SensorParam uint64 `json:"sensorParam"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		peer, rpcErr := s.addr(in.Peer)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		cs, err := sn.OpenChannel(ctx, peer, in.Deposit, in.SensorParam)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toChannel(cs), nil
+
+	case "tinyevm_pay":
+		var in struct {
+			Node    string `json:"node"`
+			Channel uint64 `json:"channel"`
+			Amount  uint64 `json:"amount"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		pay, err := sn.Pay(ctx, in.Channel, in.Amount)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return Payment{Channel: in.Channel, Seq: pay.Seq, Cumulative: pay.Cumulative}, nil
+
+	case "tinyevm_closeChannel":
+		var in struct {
+			Node    string `json:"node"`
+			Channel uint64 `json:"channel"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		fs, err := sn.Close(ctx, in.Channel)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return FinalState{
+			Channel:    in.Channel,
+			Sender:     fs.Sender.Hex(),
+			Receiver:   fs.Receiver.Hex(),
+			Seq:        fs.Seq,
+			Cumulative: fs.Cumulative,
+			Signed:     fs.VerifySignatures() == nil,
+		}, nil
+
+	case "tinyevm_channel":
+		var in struct {
+			Node    string `json:"node"`
+			Channel uint64 `json:"channel"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		cs, ok, err := sn.Channel(ctx, in.Channel)
+		if err != nil {
+			return nil, toError(err)
+		}
+		if !ok {
+			return nil, toError(fmt.Errorf("%w: %d", protocol.ErrUnknownChannel, in.Channel))
+		}
+		return toChannel(cs), nil
+
+	case "tinyevm_channels":
+		var in struct {
+			Node string `json:"node"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		list, err := sn.Channels(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		out := make([]Channel, 0, len(list))
+		for _, cs := range list {
+			out = append(out, toChannel(cs))
+		}
+		return out, nil
+
+	case "tinyevm_deposit":
+		var in struct {
+			Node   string `json:"node"`
+			Amount uint64 `json:"amount"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		r, err := sn.Deposit(ctx, in.Amount)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toReceipt(r), nil
+
+	case "tinyevm_commit":
+		var in struct {
+			Node    string `json:"node"`
+			Channel uint64 `json:"channel"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		cs, ok, err := sn.Channel(ctx, in.Channel)
+		if err != nil {
+			return nil, toError(err)
+		}
+		if !ok {
+			return nil, toError(fmt.Errorf("%w: %d", protocol.ErrUnknownChannel, in.Channel))
+		}
+		if cs.Final == nil {
+			return nil, toError(fmt.Errorf("%w: channel %d has no final state", tinyevm.ErrIncompleteClose, in.Channel))
+		}
+		r, err := sn.Commit(ctx, cs.Final)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toReceipt(r), nil
+
+	case "tinyevm_exit":
+		var in struct {
+			Node string `json:"node"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		r, err := sn.Exit(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toReceipt(r), nil
+
+	case "tinyevm_settle":
+		var in struct {
+			Node string `json:"node"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		r, err := sn.Settle(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toReceipt(r), nil
+
+	case "tinyevm_runChallengePeriod":
+		if err := s.svc.RunChallengePeriod(ctx); err != nil {
+			return nil, toError(err)
+		}
+		head, err := s.svc.HeadBlock(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return map[string]uint64{"head": head}, nil
+
+	case "tinyevm_balance":
+		var in struct {
+			Address string `json:"address"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		a, rpcErr := s.addr(in.Address)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		bal, err := s.svc.BalanceOf(ctx, a)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return map[string]uint64{"balance": bal}, nil
+
+	case "tinyevm_head":
+		head, err := s.svc.HeadBlock(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return map[string]uint64{"head": head}, nil
+
+	case "tinyevm_subscribe":
+		var in struct {
+			Node string `json:"node"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		sn, rpcErr := s.node(in.Node)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		// The subscription outlives this HTTP request; it is bounded by
+		// the service lifetime and explicit unsubscribe.
+		subCtx, cancel := context.WithCancel(context.Background())
+		events := sn.Subscribe(subCtx)
+		s.mu.Lock()
+		s.nextSub++
+		id := fmt.Sprintf("sub-%d", s.nextSub)
+		s.subs[id] = &serverSub{events: events, cancel: cancel, lastPoll: time.Now()}
+		s.mu.Unlock()
+		return map[string]string{"subscription": id}, nil
+
+	case "tinyevm_poll":
+		var in struct {
+			Subscription string `json:"subscription"`
+			Max          int    `json:"max"`
+			TimeoutMs    int    `json:"timeoutMs"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		s.mu.Lock()
+		sub, ok := s.subs[in.Subscription]
+		if ok {
+			sub.lastPoll = time.Now()
+		}
+		s.mu.Unlock()
+		if !ok {
+			return nil, &Error{Code: codeInvalidParams, Message: "unknown subscription " + in.Subscription}
+		}
+		events, closed := sub.poll(ctx, in.Max, in.TimeoutMs)
+		if closed {
+			// The stream ended (service closed or ctx cancelled): reap.
+			s.mu.Lock()
+			if cur, ok := s.subs[in.Subscription]; ok && cur == sub {
+				cur.cancel()
+				delete(s.subs, in.Subscription)
+			}
+			s.mu.Unlock()
+		} else {
+			s.mu.Lock()
+			if cur, ok := s.subs[in.Subscription]; ok && cur == sub {
+				cur.lastPoll = time.Now()
+			}
+			s.mu.Unlock()
+		}
+		return map[string]any{"events": events, "closed": closed}, nil
+
+	case "tinyevm_unsubscribe":
+		var in struct {
+			Subscription string `json:"subscription"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		s.mu.Lock()
+		sub, ok := s.subs[in.Subscription]
+		delete(s.subs, in.Subscription)
+		s.mu.Unlock()
+		if ok {
+			sub.cancel()
+		}
+		return map[string]bool{"ok": ok}, nil
+
+	default:
+		return nil, &Error{Code: codeMethodNotFound, Message: "method not found: " + method}
+	}
+}
+
+// poll long-polls the subscription: it blocks until at least one event
+// is available (or the timeout / request context expires), then drains
+// up to max buffered events. closed reports that the stream ended.
+func (sub *serverSub) poll(ctx context.Context, max, timeoutMs int) ([]Event, bool) {
+	sub.pollMu.Lock()
+	defer sub.pollMu.Unlock()
+
+	if max <= 0 {
+		max = 100
+	}
+	timeout := time.Duration(timeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if timeout > maxPollTimeout {
+		timeout = maxPollTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	events := make([]Event, 0, 4)
+	select {
+	case e, ok := <-sub.events:
+		if !ok {
+			return events, true
+		}
+		events = append(events, toEvent(e))
+	case <-timer.C:
+		return events, false
+	case <-ctx.Done():
+		return events, false
+	}
+	for len(events) < max {
+		select {
+		case e, ok := <-sub.events:
+			if !ok {
+				return events, true
+			}
+			events = append(events, toEvent(e))
+		default:
+			return events, false
+		}
+	}
+	return events, false
+}

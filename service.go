@@ -1,0 +1,924 @@
+package tinyevm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/core"
+	"tinyevm/internal/engine"
+	"tinyevm/internal/protocol"
+	"tinyevm/internal/types"
+)
+
+// Service errors.
+var (
+	// ErrServiceClosed is returned by every operation after Close.
+	ErrServiceClosed = errors.New("tinyevm: service closed")
+	// ErrUnknownNode is returned when a node name is not registered.
+	ErrUnknownNode = errors.New("tinyevm: unknown node")
+	// ErrIncompleteClose is returned by Close when the counterparty did
+	// not produce a valid countersignature.
+	ErrIncompleteClose = errors.New("tinyevm: close handshake incomplete")
+	// ErrDeliveryFailed is returned (wrapping the counterparty's
+	// rejection) when an operation was applied on the local node but the
+	// automatically dispatched wire message failed on the remote side:
+	// the local channel state HAS advanced. errors.Is matches both
+	// ErrDeliveryFailed and the underlying cause; the operation's result
+	// (e.g. the signed payment) is returned alongside the error.
+	ErrDeliveryFailed = errors.New("tinyevm: delivered locally, rejected by counterparty")
+)
+
+// Option configures a Service (functional options).
+type Option func(*serviceConfig)
+
+type serviceConfig struct {
+	core          core.Config
+	engineWorkers int
+	clock         func() time.Time
+}
+
+// WithChallengePeriod sets the on-chain template's challenge window in
+// blocks.
+func WithChallengePeriod(blocks uint64) Option {
+	return func(c *serviceConfig) { c.core.ChallengePeriod = blocks }
+}
+
+// WithRadioSeed fixes the TSCH loss process for reproducible runs.
+func WithRadioSeed(seed int64) Option {
+	return func(c *serviceConfig) { c.core.RadioSeed = seed }
+}
+
+// WithRadioLossRate injects independent per-frame radio loss.
+func WithRadioLossRate(rate float64) Option {
+	return func(c *serviceConfig) { c.core.RadioLossRate = rate }
+}
+
+// WithFunds sets the initial chain balances of the provider and of each
+// subsequently added node.
+func WithFunds(provider, node uint64) Option {
+	return func(c *serviceConfig) {
+		c.core.ProviderFunds = provider
+		c.core.NodeFunds = node
+	}
+}
+
+// WithEngineWorkers routes the service's on-chain block production
+// through the parallel execution engine with n workers. n <= 1 keeps the
+// serial producer. Template operations (native-contract calls) always
+// execute serially inside the engine; the workers parallelize ordinary
+// EVM traffic batched into the same blocks.
+func WithEngineWorkers(n int) Option {
+	return func(c *serviceConfig) { c.engineWorkers = n }
+}
+
+// WithClock sets the wall-clock source used to stamp events — tests
+// inject a deterministic clock. nil restores time.Now.
+func WithClock(now func() time.Time) Option {
+	return func(c *serviceConfig) { c.clock = now }
+}
+
+// WithConfig replaces the whole core configuration (escape hatch for
+// callers migrating from the deprecated NewSystem façade).
+func WithConfig(cfg Config) Option {
+	return func(c *serviceConfig) { c.core = cfg }
+}
+
+// Service is the concurrency-safe façade over a TinyEVM deployment.
+// Every operation takes a context.Context and may be called from many
+// goroutines; the underlying simulation (devices, radio, chain) is
+// single-threaded, so operations serialize on an internal mutex.
+//
+// Unlike the deprecated lockstep façade (NewSystem), the service
+// dispatches incoming wire messages automatically: a Pay on one node is
+// verified, registered and observable on the counterparty — via
+// Subscribe event streams — without any manual ReceivePayment call.
+type Service struct {
+	mu  sync.Mutex
+	sys *core.System
+	eng *engine.Engine
+
+	clock func() time.Time
+
+	nodes  map[string]*ServiceNode
+	byAddr map[Address]*ServiceNode
+	order  []*ServiceNode
+
+	subMu  sync.Mutex
+	subs   map[*subscription]struct{}
+	closed bool
+
+	// fraudSeen counts template fraud entries already reported per
+	// address, so each new entry emits exactly one dispute event.
+	fraudSeen map[Address]int
+}
+
+// NewService creates a TinyEVM deployment whose provider node (the
+// payment receiver owning the on-chain template) has the given name.
+func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, error) {
+	cfg := serviceConfig{core: core.DefaultConfig(), clock: time.Now}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.clock == nil {
+		cfg.clock = time.Now
+	}
+
+	sys, provider, err := core.NewSystem(cfg.core, providerName)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Service{
+		sys:       sys,
+		clock:     cfg.clock,
+		nodes:     make(map[string]*ServiceNode),
+		byAddr:    make(map[Address]*ServiceNode),
+		subs:      make(map[*subscription]struct{}),
+		fraudSeen: make(map[Address]int),
+	}
+	if cfg.engineWorkers > 1 {
+		s.eng = engine.New(sys.Chain, engine.Options{Workers: cfg.engineWorkers})
+	}
+	sys.Chain.OnSeal(func(b *chain.Block, _ []*chain.Receipt) {
+		s.broadcast(Event{Type: EventBlockSealed, Block: b.Number})
+	})
+	pn := s.adopt(provider)
+	return s, pn, nil
+}
+
+func (s *Service) adopt(n *core.Node) *ServiceNode {
+	sn := &ServiceNode{svc: s, n: n}
+	s.nodes[n.Name()] = sn
+	s.byAddr[n.Address()] = sn
+	s.order = append(s.order, sn)
+	return sn
+}
+
+// do serializes an operation against the simulation, honouring context
+// cancellation and service shutdown at the boundary (the simulated
+// operations themselves are fast and non-blocking).
+func (s *Service) do(ctx context.Context, fn func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.isClosed() {
+		return ErrServiceClosed
+	}
+	return fn()
+}
+
+func (s *Service) isClosed() bool {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	return s.closed
+}
+
+// Close shuts the service down: every Subscribe stream is closed and
+// subsequent operations fail with ErrServiceClosed. Close is idempotent.
+func (s *Service) Close() error {
+	s.subMu.Lock()
+	if s.closed {
+		s.subMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	subs := make([]*subscription, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subMu.Unlock()
+	for _, sub := range subs {
+		sub.cancel()
+	}
+	return nil
+}
+
+// AddNode creates, funds and joins a new node.
+func (s *Service) AddNode(ctx context.Context, name string) (*ServiceNode, error) {
+	var sn *ServiceNode
+	err := s.do(ctx, func() error {
+		n, err := s.sys.AddNode(name)
+		if err != nil {
+			return err
+		}
+		sn = s.adopt(n)
+		return nil
+	})
+	return sn, err
+}
+
+// Node returns a registered node by name.
+func (s *Service) Node(name string) (*ServiceNode, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn, ok := s.nodes[name]
+	return sn, ok
+}
+
+// Nodes returns every node in join order.
+func (s *Service) Nodes() []*ServiceNode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*ServiceNode, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Provider returns the provider node (the template owner).
+func (s *Service) Provider() *ServiceNode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byAddr[s.sys.Provider()]
+}
+
+// BalanceOf returns an address's main-chain balance.
+func (s *Service) BalanceOf(ctx context.Context, addr Address) (uint64, error) {
+	var bal uint64
+	err := s.do(ctx, func() error {
+		bal = s.sys.Chain.BalanceOf(addr)
+		return nil
+	})
+	return bal, err
+}
+
+// HeadBlock returns the current main-chain head number.
+func (s *Service) HeadBlock(ctx context.Context) (uint64, error) {
+	var n uint64
+	err := s.do(ctx, func() error {
+		n = s.sys.Chain.Head().Number
+		return nil
+	})
+	return n, err
+}
+
+// MineBlock produces one block from any pending transactions, through
+// the parallel engine when WithEngineWorkers configured one.
+func (s *Service) MineBlock(ctx context.Context) error {
+	return s.do(ctx, func() error {
+		if s.eng != nil {
+			s.eng.MineBlock()
+		} else {
+			s.sys.Chain.MineBlock()
+		}
+		return nil
+	})
+}
+
+// RunChallengePeriod advances the chain past the active exit deadline.
+func (s *Service) RunChallengePeriod(ctx context.Context) error {
+	return s.do(ctx, func() error {
+		return s.sys.RunChallengePeriod()
+	})
+}
+
+// FraudChannels returns the channel ids the template caught addr
+// cheating on.
+func (s *Service) FraudChannels(ctx context.Context, addr Address) ([]uint64, error) {
+	var out []uint64
+	err := s.do(ctx, func() error {
+		out = s.sys.Template.FraudChannels(addr)
+		return nil
+	})
+	return out, err
+}
+
+// TemplateSettled reports whether the on-chain template has dissolved.
+func (s *Service) TemplateSettled(ctx context.Context) (bool, error) {
+	var settled bool
+	err := s.do(ctx, func() error {
+		settled = s.sys.Template.Settled()
+		return nil
+	})
+	return settled, err
+}
+
+// System exposes the underlying deployment for measurement and
+// inspection. It is NOT safe to mutate concurrently with service
+// operations; quiesce the service first.
+func (s *Service) System() *System { return s.sys }
+
+// txSender returns the block producer on-chain operations go through.
+func (s *Service) txSender() protocol.TxSender {
+	if s.eng != nil {
+		return &engineTxSender{c: s.sys.Chain, e: s.eng}
+	}
+	return s.sys.Chain
+}
+
+// engineTxSender adapts the parallel engine to protocol.TxSender:
+// submit, mine one block, return the submitted transaction's receipt.
+type engineTxSender struct {
+	c *chain.Chain
+	e *engine.Engine
+}
+
+func (es *engineTxSender) NonceOf(a types.Address) uint64 { return es.c.NonceOf(a) }
+
+func (es *engineTxSender) SendTransaction(tx *chain.Transaction) (*chain.Receipt, error) {
+	if err := es.e.Submit(tx); err != nil {
+		return nil, err
+	}
+	want := tx.Hash()
+	for _, r := range es.e.MineBlock() {
+		if r.TxHash == want {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("tinyevm: engine dropped transaction %s", want)
+}
+
+// RouteStep names one forwarding hop of a multi-hop payment: the node
+// pays the next hop over its local channel handle.
+type RouteStep struct {
+	Node    string
+	Channel uint64
+}
+
+// RoutePayment executes an atomic multi-hop hash-locked payment along
+// the route, ending at the named receiver. Intermediaries earn hopFee
+// each. The whole exchange (forward lock pass, backward claim pass)
+// completes before RoutePayment returns; each hop's payee sees
+// payment-received and each payer claim-settled on their streams.
+func (s *Service) RoutePayment(ctx context.Context, steps []RouteStep, receiver string, amount, hopFee uint64) (Hash, error) {
+	var lock Hash
+	err := s.do(ctx, func() error {
+		recv, ok := s.nodes[receiver]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownNode, receiver)
+		}
+		parties := make([]*ServiceNode, 0, len(steps)+1)
+		hops := make([]RouteHop, 0, len(steps))
+		for _, st := range steps {
+			sn, ok := s.nodes[st.Node]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrUnknownNode, st.Node)
+			}
+			parties = append(parties, sn)
+			hops = append(hops, RouteHop{From: sn.n.Party, ChannelID: st.Channel})
+		}
+		parties = append(parties, recv)
+
+		var err error
+		lock, err = protocol.RoutePayment(hops, recv.n.Party, amount, hopFee)
+		if err != nil {
+			s.dispatch()
+			return err
+		}
+		// The route consumed its wire messages lockstep internally, so
+		// publish the per-hop events the normal dispatch path would have.
+		for i, st := range steps {
+			payer, payee := parties[i], parties[i+1]
+			pcs, ok := payer.n.Channel(st.Channel)
+			if !ok {
+				continue
+			}
+			hopAmount := amount + uint64(len(steps)-1-i)*hopFee
+			if rcs, ok := payee.n.Party.ChannelByOpener(pcs.Template, pcs.WireID, pcs.Opener); ok {
+				s.emit(Event{
+					Type: EventPaymentReceived, Node: payee.n.Name(),
+					Channel: rcs.ID, Peer: rcs.Peer,
+					Seq: rcs.Seq, Amount: hopAmount, Payment: rcs.LastPayment,
+				})
+			}
+			s.emit(Event{
+				Type: EventClaimSettled, Node: payer.n.Name(),
+				Channel: pcs.ID, Peer: pcs.Peer,
+				Seq: pcs.Seq, Payment: pcs.LastPayment,
+			})
+		}
+		return firstErr(s.dispatch())
+	})
+	return lock, err
+}
+
+// --- event plumbing ----------------------------------------------------
+
+// subscription is one Subscribe stream: an unbounded queue decoupling
+// the (locked) event producers from an arbitrarily slow consumer.
+type subscription struct {
+	node string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Event
+	closed bool
+
+	done chan struct{}
+	once sync.Once
+	out  chan Event
+}
+
+func newSubscription(node string) *subscription {
+	sub := &subscription{
+		node: node,
+		done: make(chan struct{}),
+		out:  make(chan Event, 16),
+	}
+	sub.cond = sync.NewCond(&sub.mu)
+	go sub.pump()
+	return sub
+}
+
+func (sub *subscription) push(e Event) {
+	sub.mu.Lock()
+	if !sub.closed {
+		sub.queue = append(sub.queue, e)
+		sub.cond.Signal()
+	}
+	sub.mu.Unlock()
+}
+
+func (sub *subscription) cancel() {
+	sub.once.Do(func() {
+		close(sub.done)
+		sub.mu.Lock()
+		sub.closed = true
+		sub.cond.Signal()
+		sub.mu.Unlock()
+	})
+}
+
+func (sub *subscription) pump() {
+	for {
+		sub.mu.Lock()
+		for len(sub.queue) == 0 && !sub.closed {
+			sub.cond.Wait()
+		}
+		if len(sub.queue) == 0 && sub.closed {
+			sub.mu.Unlock()
+			close(sub.out)
+			return
+		}
+		e := sub.queue[0]
+		sub.queue = sub.queue[1:]
+		sub.mu.Unlock()
+		select {
+		case sub.out <- e:
+		case <-sub.done:
+			close(sub.out)
+			return
+		}
+	}
+}
+
+// subscribe registers a stream bound to node (or "" for every event).
+func (s *Service) subscribe(ctx context.Context, node string) <-chan Event {
+	sub := newSubscription(node)
+	s.subMu.Lock()
+	if s.closed {
+		s.subMu.Unlock()
+		sub.cancel()
+		return sub.out
+	}
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			sub.cancel()
+		case <-sub.done:
+		}
+		s.subMu.Lock()
+		delete(s.subs, sub)
+		s.subMu.Unlock()
+	}()
+	return sub.out
+}
+
+// emit delivers an event to the named node's streams; broadcast events
+// (Node == "") reach every stream.
+func (s *Service) emit(e Event) {
+	e.Time = s.clock()
+	s.subMu.Lock()
+	for sub := range s.subs {
+		if e.Node == "" || sub.node == "" || sub.node == e.Node {
+			sub.push(e)
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// broadcast emits a system-wide event.
+func (s *Service) broadcast(e Event) {
+	e.Node = ""
+	s.emit(e)
+}
+
+// --- wire dispatch -----------------------------------------------------
+
+// firstErr reduces dispatch's error list to its first element (the
+// service surfaces one failure per operation; the rest arrive as error
+// events on the streams).
+func firstErr(errs []error) error {
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return nil
+}
+
+// deliveryErr marks a dispatch failure that happened AFTER the local
+// side of the operation succeeded, so callers can distinguish "never
+// happened" from "applied locally, rejected remotely". Both
+// ErrDeliveryFailed and the cause match through errors.Is.
+func deliveryErr(errs []error) error {
+	if len(errs) > 0 {
+		return fmt.Errorf("%w: %w", ErrDeliveryFailed, errs[0])
+	}
+	return nil
+}
+
+// dispatch drains every node's radio inbox, routing each pending message
+// to the matching protocol handler and publishing the resulting events.
+// It runs after every state-changing operation, while the service lock
+// is held, so automatic delivery is atomic with the operation that
+// produced the messages.
+func (s *Service) dispatch() []error {
+	var errs []error
+	for progress := true; progress; {
+		progress = false
+		for _, sn := range s.order {
+			for sn.n.Radio.Pending() > 0 {
+				progress = true
+				if err := s.deliverOne(sn); err != nil {
+					errs = append(errs, err)
+					s.emit(Event{Type: EventError, Node: sn.n.Name(), Err: err})
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// deliverOne pops and handles the oldest pending message on sn.
+func (s *Service) deliverOne(sn *ServiceNode) error {
+	msg, ok := sn.n.Radio.Peek()
+	if !ok {
+		return nil
+	}
+	t, err := protocol.PeekType(msg.Payload)
+	if err != nil {
+		sn.n.Radio.Receive() // drop the malformed frame
+		return err
+	}
+	p := sn.n.Party
+	name := sn.n.Name()
+
+	switch t {
+	case protocol.MsgChannelOpen:
+		cs, err := p.AcceptChannel()
+		if err != nil {
+			return err
+		}
+		s.emit(Event{Type: EventChannelOpened, Node: name, Channel: cs.ID, Peer: cs.Peer, Amount: cs.Deposit})
+
+	case protocol.MsgPayment:
+		pay, err := protocol.DecodePayment(msg.Payload)
+		if err != nil {
+			sn.n.Radio.Receive()
+			return err
+		}
+		if pay.HashLock.IsZero() {
+			prev := uint64(0)
+			if cs, ok := p.ChannelByWire(pay.Template, pay.ChannelID, msg.From); ok {
+				prev = cs.Cumulative
+			}
+			pay, err = p.ReceivePayment()
+			if err != nil {
+				return err
+			}
+			cs, _ := p.ChannelOf(pay)
+			s.emit(Event{
+				Type: EventPaymentReceived, Node: name,
+				Channel: cs.ID, Peer: cs.Peer,
+				Seq: pay.Seq, Amount: pay.Cumulative - prev,
+				Payment: pay,
+			})
+		} else {
+			pay, err = p.ReceiveConditional()
+			if err != nil {
+				return err
+			}
+			cs, _ := p.ChannelOf(pay)
+			s.emit(Event{
+				Type: EventPaymentReceived, Node: name,
+				Channel: cs.ID, Peer: cs.Peer,
+				Seq: pay.Seq, Payment: pay,
+			})
+		}
+
+	case protocol.MsgCloseRequest, protocol.MsgCloseAck:
+		handle := p.AcceptClose // countersign an incoming close
+		if t == protocol.MsgCloseAck {
+			handle = p.FinishClose // record the ack on the initiator
+		}
+		fs, err := handle()
+		if err != nil {
+			return err
+		}
+		cs, _ := p.ChannelByOpener(fs.Template, fs.ChannelID, fs.Sender)
+		s.emit(Event{
+			Type: EventChannelClosed, Node: name,
+			Channel: cs.ID, Peer: cs.Peer,
+			Seq: fs.Seq, Amount: fs.Cumulative, Final: fs,
+		})
+
+	case protocol.MsgHTLCClaim:
+		pay, err := p.AcceptClaim()
+		if err != nil {
+			return err
+		}
+		cs, _ := p.ChannelOf(pay)
+		s.emit(Event{
+			Type: EventClaimSettled, Node: name,
+			Channel: cs.ID, Peer: cs.Peer,
+			Seq: pay.Seq, Payment: pay,
+		})
+
+	case protocol.MsgSensorData:
+		data, err := p.ReceiveSensorData()
+		if err != nil {
+			return err
+		}
+		s.emit(Event{Type: EventSensorData, Node: name, Peer: data.From, Readings: data.Readings})
+
+	default:
+		sn.n.Radio.Receive()
+		return fmt.Errorf("tinyevm: undispatchable message type %d", t)
+	}
+	return nil
+}
+
+// checkDisputes emits a dispute event for every fraud entry the template
+// recorded since the last check.
+func (s *Service) checkDisputes() {
+	for addr := range s.byAddr {
+		frauds := s.sys.Template.FraudChannels(addr)
+		for _, ch := range frauds[s.fraudSeen[addr]:] {
+			s.broadcast(Event{
+				Type: EventDispute, Peer: addr, Channel: ch,
+				Block: s.sys.Chain.Head().Number,
+			})
+		}
+		s.fraudSeen[addr] = len(frauds)
+	}
+}
+
+// --- node façade -------------------------------------------------------
+
+// ServiceNode is one IoT node addressed through the service. All methods
+// are safe for concurrent use.
+type ServiceNode struct {
+	svc *Service
+	n   *core.Node
+}
+
+// Name returns the node's name.
+func (sn *ServiceNode) Name() string { return sn.n.Name() }
+
+// Address returns the node's device address.
+func (sn *ServiceNode) Address() Address { return sn.n.Address() }
+
+// Unwrap returns the underlying lockstep-façade node. It is NOT safe to
+// drive concurrently with service operations; quiesce the service first
+// (measurement and reporting escape hatch).
+func (sn *ServiceNode) Unwrap() *Node { return sn.n }
+
+// Subscribe returns this node's event stream: channel-opened,
+// payment-received, channel-closed, claim-settled, sensor-data and
+// error events observed on this node, plus broadcast dispute and
+// block-sealed events. The stream closes when ctx is cancelled or the
+// service closes. Delivery is unbounded — a slow consumer never blocks
+// the protocol.
+func (sn *ServiceNode) Subscribe(ctx context.Context) <-chan Event {
+	return sn.svc.subscribe(ctx, sn.n.Name())
+}
+
+// RegisterSensor installs a sensor/actuator handler on the node's bus.
+func (sn *ServiceNode) RegisterSensor(id uint64, fn SensorFunc) {
+	sn.n.RegisterSensor(id, fn) // the bus is internally synchronized
+}
+
+// OpenChannel executes the local template to create an off-chain payment
+// channel funded with deposit and announces it to the peer, which
+// replicates it immediately (the peer's stream sees channel-opened).
+func (sn *ServiceNode) OpenChannel(ctx context.Context, peer Address, deposit, sensorParam uint64) (ChannelState, error) {
+	var out ChannelState
+	err := sn.svc.do(ctx, func() error {
+		cs, err := sn.n.OpenChannel(peer, deposit, sensorParam)
+		if err != nil {
+			return err
+		}
+		sn.svc.emit(Event{
+			Type: EventChannelOpened, Node: sn.n.Name(),
+			Channel: cs.ID, Peer: cs.Peer, Amount: cs.Deposit,
+		})
+		out = *cs
+		return deliveryErr(sn.svc.dispatch())
+	})
+	return out, err
+}
+
+// Pay sends an off-chain payment over the channel. The counterparty
+// verifies and registers it before Pay returns; its stream sees
+// payment-received.
+func (sn *ServiceNode) Pay(ctx context.Context, channelID, amount uint64) (*Payment, error) {
+	var pay *Payment
+	err := sn.svc.do(ctx, func() error {
+		var err error
+		pay, err = sn.n.Pay(channelID, amount)
+		if err != nil {
+			return err
+		}
+		return deliveryErr(sn.svc.dispatch())
+	})
+	return pay, err
+}
+
+// PayConditional sends a hash-locked payment; the peer holds it pending
+// until Claim reveals the preimage.
+func (sn *ServiceNode) PayConditional(ctx context.Context, channelID, amount uint64, lock Hash) (*Payment, error) {
+	var pay *Payment
+	err := sn.svc.do(ctx, func() error {
+		var err error
+		pay, err = sn.n.PayConditional(channelID, amount, lock)
+		if err != nil {
+			return err
+		}
+		return deliveryErr(sn.svc.dispatch())
+	})
+	return pay, err
+}
+
+// Claim resolves a pending inbound conditional payment by revealing the
+// preimage; the payer finalizes it in the same call (claim-settled).
+func (sn *ServiceNode) Claim(ctx context.Context, channelID uint64, secret Secret) (*Payment, error) {
+	var pay *Payment
+	err := sn.svc.do(ctx, func() error {
+		var err error
+		pay, err = sn.n.ClaimConditional(channelID, secret)
+		if err != nil {
+			return err
+		}
+		return deliveryErr(sn.svc.dispatch())
+	})
+	return pay, err
+}
+
+// Close runs the full cooperative close handshake: the final state
+// travels to the peer, is countersigned, and the ack is processed — both
+// parties' streams see channel-closed. The returned state carries both
+// signatures.
+func (sn *ServiceNode) Close(ctx context.Context, channelID uint64) (*FinalState, error) {
+	var fs *FinalState
+	err := sn.svc.do(ctx, func() error {
+		if _, err := sn.n.CloseChannel(channelID); err != nil {
+			return err
+		}
+		errs := sn.svc.dispatch()
+		cs, ok := sn.n.Channel(channelID)
+		if !ok || cs.Final == nil {
+			if len(errs) > 0 {
+				return errs[0]
+			}
+			return ErrIncompleteClose
+		}
+		fs = cs.Final
+		return nil
+	})
+	return fs, err
+}
+
+// Reopen clears a countersigned checkpoint on this side so payments can
+// continue (both parties must reopen).
+func (sn *ServiceNode) Reopen(ctx context.Context, channelID uint64) error {
+	return sn.svc.do(ctx, func() error {
+		return sn.n.Reopen(channelID)
+	})
+}
+
+// Channel returns a snapshot of a channel's local state.
+func (sn *ServiceNode) Channel(ctx context.Context, channelID uint64) (ChannelState, bool, error) {
+	var (
+		out ChannelState
+		ok  bool
+	)
+	err := sn.svc.do(ctx, func() error {
+		cs, found := sn.n.Channel(channelID)
+		if found {
+			out, ok = *cs, true
+		}
+		return nil
+	})
+	return out, ok, err
+}
+
+// Channels returns snapshots of every channel on this node.
+func (sn *ServiceNode) Channels(ctx context.Context) ([]ChannelState, error) {
+	var out []ChannelState
+	err := sn.svc.do(ctx, func() error {
+		for _, cs := range sn.n.ChannelList() {
+			out = append(out, *cs)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// SendSensorData reads the given sensors and pushes the readings to the
+// peer, whose stream sees sensor-data.
+func (sn *ServiceNode) SendSensorData(ctx context.Context, peer Address, sensorIDs ...uint64) (*SensorData, error) {
+	var data *SensorData
+	err := sn.svc.do(ctx, func() error {
+		var err error
+		data, err = sn.n.SendSensorData(peer, sensorIDs...)
+		if err != nil {
+			return err
+		}
+		return deliveryErr(sn.svc.dispatch())
+	})
+	return data, err
+}
+
+// Deposit locks funds into the on-chain template (phase 1).
+func (sn *ServiceNode) Deposit(ctx context.Context, amount uint64) (*Receipt, error) {
+	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
+		return sn.n.DepositOnChain(ts, amount)
+	})
+}
+
+// Commit submits a final state to the on-chain template (phase 3). A
+// commit superseding a counterparty's stale commit raises a dispute
+// event.
+func (sn *ServiceNode) Commit(ctx context.Context, fs *FinalState) (*Receipt, error) {
+	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
+		return sn.n.CommitOnChain(ts, fs)
+	})
+}
+
+// Exit starts the on-chain exit / challenge period.
+func (sn *ServiceNode) Exit(ctx context.Context) (*Receipt, error) {
+	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
+		return sn.n.ExitOnChain(ts)
+	})
+}
+
+// Settle dissolves the template after the challenge period and
+// distributes funds.
+func (sn *ServiceNode) Settle(ctx context.Context) (*Receipt, error) {
+	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
+		return sn.n.SettleOnChain(ts)
+	})
+}
+
+func (sn *ServiceNode) chainOp(ctx context.Context, fn func(protocol.TxSender) (*Receipt, error)) (*Receipt, error) {
+	var r *Receipt
+	err := sn.svc.do(ctx, func() error {
+		var err error
+		r, err = fn(sn.svc.txSender())
+		sn.svc.checkDisputes()
+		return err
+	})
+	return r, err
+}
+
+// DeployContract deploys EVM init code on the node's TinyEVM.
+func (sn *ServiceNode) DeployContract(ctx context.Context, initCode []byte) (DeployResult, error) {
+	var res DeployResult
+	err := sn.svc.do(ctx, func() error {
+		res = sn.n.DeployContract(initCode)
+		return nil
+	})
+	return res, err
+}
+
+// CallContract executes a deployed contract on the node's TinyEVM.
+func (sn *ServiceNode) CallContract(ctx context.Context, addr Address, input []byte, value uint64) (CallResult, error) {
+	var res CallResult
+	err := sn.svc.do(ctx, func() error {
+		res = sn.n.CallContract(addr, input, value)
+		return nil
+	})
+	return res, err
+}
+
+// EnergyReport returns the node's Table IV style energy report.
+func (sn *ServiceNode) EnergyReport(ctx context.Context) (EnergyReport, error) {
+	var rep EnergyReport
+	err := sn.svc.do(ctx, func() error {
+		rep = sn.n.EnergyReport()
+		return nil
+	})
+	return rep, err
+}
+
+// VerifyLog checks the node's hash-linked side-chain log.
+func (sn *ServiceNode) VerifyLog(ctx context.Context) error {
+	return sn.svc.do(ctx, func() error {
+		return sn.n.Log.Verify()
+	})
+}

@@ -17,22 +17,33 @@
 //     logical-clock sequence numbers, and final states commit on-chain
 //     into a Merkle-sum tree with a challenge period.
 //
-// A minimal session:
+// A minimal session uses the Service API: operations take a
+// context.Context, are safe for concurrent use, and incoming wire
+// messages dispatch automatically — the counterparty observes payments
+// on its Subscribe stream instead of pumping ReceivePayment:
 //
-//	sys, lot, _ := tinyevm.NewSystem(tinyevm.DefaultConfig(), "parking-lot")
-//	car, _ := sys.AddNode("smart-car")
-//	cs, _ := car.OpenChannel(lot.Address(), 10_000, 0)
-//	lot.AcceptChannel()
-//	car.Pay(cs.ID, 250)
-//	lot.ReceivePayment()
+//	svc, lot, _ := tinyevm.NewService("parking-lot")
+//	defer svc.Close()
+//	car, _ := svc.AddNode(ctx, "smart-car")
+//	for _, n := range []*tinyevm.ServiceNode{lot, car} {
+//		// channel constructors read this sensor via the IoT opcode
+//		n.RegisterSensor(tinyevm.SensorTemperature, temp)
+//	}
+//	events := lot.Subscribe(ctx)
+//	cs, _ := car.OpenChannel(ctx, lot.Address(), 10_000, 0)
+//	car.Pay(ctx, cs.ID, 250)   // lot's stream sees payment-received
+//	car.Close(ctx, cs.ID)      // full countersign handshake
+//	for e := range events { ... }
 //
-// See the examples directory for complete scenarios and cmd/benchtables
-// for the evaluation harness that regenerates the paper's tables and
-// figures.
+// The JSON-RPC gateway in internal/rpc and the cmd/tinyevm-serve daemon
+// expose the same surface over HTTP. See the examples directory for
+// complete scenarios and cmd/benchtables for the evaluation harness
+// that regenerates the paper's tables and figures.
 package tinyevm
 
 import (
 	"tinyevm/internal/asm"
+	"tinyevm/internal/chain"
 	"tinyevm/internal/contracts"
 	"tinyevm/internal/core"
 	"tinyevm/internal/device"
@@ -71,6 +82,12 @@ type (
 	RouteHop = protocol.RouteHop
 	// Secret is a hash-lock preimage for conditional payments.
 	Secret = protocol.Secret
+	// SensorData is a batch of pushed sensor readings.
+	SensorData = protocol.SensorData
+	// SensorReading is one (sensor id, value) pair.
+	SensorReading = protocol.SensorReading
+	// Receipt is the result of one executed main-chain transaction.
+	Receipt = chain.Receipt
 )
 
 // Well-known sensor and actuator identifiers for the IoT opcode.
@@ -85,7 +102,14 @@ const (
 )
 
 // NewSystem creates a chain + network + template deployment whose
-// provider node (the payment receiver) has the given name.
+// provider node (the payment receiver) has the given name. The returned
+// façade is the original lockstep API: single-threaded, with manual
+// message pumping (AcceptChannel / ReceivePayment / AcceptClose).
+//
+// Deprecated: use NewService, which is concurrency-safe, takes
+// contexts, and dispatches wire messages automatically. NewSystem
+// remains as a thin shim for existing callers and measurement
+// harnesses that need lockstep control over both parties.
 func NewSystem(cfg Config, providerName string) (*System, *Node, error) {
 	return core.NewSystem(cfg, providerName)
 }
