@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-smoke
+.PHONY: all build test lint bench bench-smoke bench-report bench-gate
 
 all: build lint test
 
@@ -28,3 +28,14 @@ bench-smoke:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/benchtables -table 2 -n 300 -q
 	$(GO) run ./cmd/benchtables -engine -q
+
+# Machine-readable benchmark report (BENCH_<n>.json schema).
+bench-report:
+	$(GO) run ./cmd/benchreport -q -out BENCH_3.json
+
+# Regression gate against the committed baseline — what the CI
+# bench-gate job runs. Refresh the baseline after intentional perf
+# changes with:
+#   $(GO) run ./cmd/benchreport -write-baseline testdata/bench-baseline.json
+bench-gate:
+	$(GO) run ./cmd/benchreport -q -compare testdata/bench-baseline.json

@@ -557,3 +557,45 @@ func TestSerialSmallBatch(t *testing.T) {
 		t.Fatalf("expected serial path, got %+v", st)
 	}
 }
+
+// TestWorkersShareJumpDestCache exercises the shared JUMPDEST-analysis
+// cache from real engine workers: every device owns its own copy of an
+// identical contract (same bytecode, same code hash), so all workers
+// resolve their frames through the one cache entry on the base state —
+// concurrently, during speculation. Receipts, state digest and block
+// hash must stay byte-identical to the serial path; run with -race to
+// check the cache's locking.
+func TestWorkersShareJumpDestCache(t *testing.T) {
+	const devices = 24
+	contracts := make([]types.Address, devices)
+	setup := func(c *chain.Chain) {
+		for i := 0; i < devices; i++ {
+			c.Fund(devAddr(i), 10_000_000_000)
+		}
+		runtimes := make([][]byte, devices)
+		for i := range runtimes {
+			runtimes[i] = counterRuntime() // identical code, one hash
+		}
+		deployer := secp256k1.DeterministicKey("engine-test-jdcache")
+		c.Fund(deployer.PublicKey.Address(), 10_000_000_000)
+		copy(contracts, deployContracts(t, c, deployer, runtimes))
+	}
+	txs := func() []*chain.Transaction {
+		var out []*chain.Transaction
+		for n := uint64(0); n < 3; n++ {
+			for i := 0; i < devices; i++ {
+				out = append(out, signedTx(t, devKey(i), n, &contracts[i], 0, nil))
+			}
+		}
+		return out
+	}
+	eng, receipts := runBoth(t, setup, txs, engine.Options{Workers: 8})
+	for i, r := range receipts {
+		if !r.Status {
+			t.Fatalf("tx %d failed: %v", i, r.Err)
+		}
+	}
+	if st := eng.Stats(); st.ParallelTxs != devices*3 {
+		t.Fatalf("expected %d parallel txs, got %+v", devices*3, st)
+	}
+}

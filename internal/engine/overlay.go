@@ -163,6 +163,12 @@ type ovAccount struct {
 	codeKnown   bool
 	codeWritten bool
 	code        []byte
+	// codeHash memoizes Keccak-256 of the live code for this account's
+	// view; the EVM asks for it on every call-family opcode to key the
+	// shared JUMPDEST cache. Views are single-goroutine, so lazy
+	// memoization is safe here.
+	codeHash   types.Hash
+	codeHashOK bool
 
 	// storage holds locally written slots (zero values mask base slots).
 	storage map[uint256.Int]uint256.Int
@@ -208,7 +214,10 @@ type viewSnapshot struct {
 	logCount int
 }
 
-var _ evm.StateDB = (*view)(nil)
+var (
+	_ evm.StateDB       = (*view)(nil)
+	_ evm.JumpDestCache = (*view)(nil)
+)
 
 func newView(base *evm.MemState) *view {
 	return &view{
@@ -345,6 +354,8 @@ func (v *view) SetCode(addr types.Address, code []byte) {
 	a.code = cp
 	a.codeKnown = true
 	a.codeWritten = true
+	a.codeHash = types.HashData(cp)
+	a.codeHashOK = true
 	v.access.writesAbs[codeKey(addr)] = struct{}{}
 }
 
@@ -361,12 +372,24 @@ func (v *view) CodeHash(addr types.Address) types.Hash {
 		return types.HashData(a.code)
 	}
 	if a.touched {
-		return types.HashData(v.Code(addr))
+		if !a.codeHashOK {
+			a.codeHash = types.HashData(v.Code(addr))
+			a.codeHashOK = true
+		}
+		return a.codeHash
 	}
 	// Untouched account: defer to the base, which distinguishes a
 	// missing record (zero hash) from a live record with empty code.
 	v.access.reads[codeKey(addr)] = struct{}{}
 	return v.base.CodeHash(addr)
+}
+
+// JumpDestAnalysis implements evm.JumpDestCache by forwarding to the
+// base state's shared, mutex-guarded cache: every engine worker reuses
+// one JUMPDEST analysis per distinct contract code, instead of each
+// view re-scanning the bytecode it executes.
+func (v *view) JumpDestAnalysis(codeHash types.Hash, code []byte) evm.JumpDestBitmap {
+	return v.base.JumpDestAnalysis(codeHash, code)
 }
 
 // GetState implements StateDB.
@@ -447,6 +470,8 @@ func (v *view) SelfDestruct(addr, beneficiary types.Address) {
 	a.code = nil
 	a.codeKnown = true
 	a.codeWritten = false
+	a.codeHash = types.Hash{}
+	a.codeHashOK = false
 	a.storage = nil
 	a.wiped = true
 	a.touched = false // post-wipe touches mean resurrection

@@ -173,7 +173,9 @@ type SensorBus interface {
 // Tracer observes execution; the device model implements it to charge
 // MCU cycles and energy per instruction. The stack is the live operand
 // stack before the instruction executes: tracers may Peek size operands
-// (e.g. the length of a CODECOPY) but must not mutate it.
+// (e.g. the length of a CODECOPY) but must not mutate it, and must not
+// retain it past the callback — stacks are pooled and recycled when the
+// frame retires.
 type Tracer interface {
 	// CaptureOp is called before each instruction executes.
 	CaptureOp(pc uint64, op Opcode, stack *Stack, memBytes uint64)

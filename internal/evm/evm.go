@@ -2,6 +2,7 @@ package evm
 
 import (
 	"fmt"
+	"sync"
 
 	"tinyevm/internal/types"
 	"tinyevm/internal/uint256"
@@ -56,6 +57,11 @@ type ExecResult struct {
 	Stats ExecStats
 	// ContractAddress is set by Create.
 	ContractAddress types.Address
+
+	// gasMetered and gasRemaining preserve the frame's gas accounting
+	// past its release, for create's code-deposit charge.
+	gasMetered   bool
+	gasRemaining uint64
 }
 
 // Reverted reports whether execution ended in REVERT (state rolled back,
@@ -65,7 +71,9 @@ func (r *ExecResult) Reverted() bool { return r.Err == ErrRevert }
 // Failed reports whether execution failed for any reason.
 func (r *ExecResult) Failed() bool { return r.Err != nil }
 
-// frame is one execution frame (one contract activation).
+// frame is one execution frame (one contract activation). Frames and
+// their stacks and memories are pooled: release returns them for reuse
+// after the frame's observable results have been copied out.
 type frame struct {
 	vm *EVM
 	// address is the account whose storage/context the code runs in.
@@ -77,29 +85,69 @@ type frame struct {
 	value       uint256.Int
 	code        []byte
 	input       []byte
-	gas         *gasPool
+	gas         gasPool
 	stack       *Stack
 	memory      *Memory
 	pc          uint64
 	returnData  []byte // last child call's return data
 	readOnly    bool
 	stats       ExecStats
-	// jumpDests caches valid JUMPDEST positions for the code.
-	jumpDests map[uint64]bool
+	// jumpDests marks valid JUMPDEST positions for the code; shared
+	// across executions through the state's analysis cache.
+	jumpDests JumpDestBitmap
+}
+
+// framePool recycles frame shells across executions; stacks and
+// memories have their own pools (see stack.go, memory.go).
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// JumpDestBitmap marks valid JUMPDEST positions in a code blob, one bit
+// per code offset. PUSH immediates are skipped during analysis, so a
+// set bit is always a real, jumpable instruction boundary.
+type JumpDestBitmap []byte
+
+// Has reports whether pos is a valid JUMPDEST. Positions past the end
+// of code are never valid.
+func (b JumpDestBitmap) Has(pos uint64) bool {
+	return pos/8 < uint64(len(b)) && b[pos/8]&(1<<(pos%8)) != 0
 }
 
 // analyzeJumpDests finds all valid JUMPDEST positions, skipping PUSH
 // immediates.
-func analyzeJumpDests(code []byte) map[uint64]bool {
-	dests := make(map[uint64]bool)
+func analyzeJumpDests(code []byte) JumpDestBitmap {
+	dests := make(JumpDestBitmap, (len(code)+7)/8)
 	for i := 0; i < len(code); i++ {
 		op := Opcode(code[i])
 		if op == OpJumpDest {
-			dests[uint64(i)] = true
+			dests[i/8] |= 1 << (uint(i) % 8)
 		}
 		i += op.PushBytes()
 	}
 	return dests
+}
+
+// JumpDestCache is implemented by state backends that share JUMPDEST
+// analysis across executions, keyed by code hash. MemState implements
+// it with a mutex-guarded map so concurrent engine workers reuse one
+// analysis per contract; the engine's overlay views forward to it.
+type JumpDestCache interface {
+	// JumpDestAnalysis returns the (possibly cached) JUMPDEST bitmap
+	// for code, whose Keccak-256 hash is codeHash. Implementations must
+	// be safe for concurrent use.
+	JumpDestAnalysis(codeHash types.Hash, code []byte) JumpDestBitmap
+}
+
+// codeAnalysis resolves the JUMPDEST bitmap for code installed at
+// codeAddr. When the state backend maintains an analysis cache the
+// bitmap is shared across executions (repeated calls to the same
+// contract stop re-scanning its bytecode); otherwise it is computed
+// fresh. Init code, which is not installed anywhere, must use
+// analyzeJumpDests directly.
+func (vm *EVM) codeAnalysis(codeAddr types.Address, code []byte) JumpDestBitmap {
+	if c, ok := vm.State.(JumpDestCache); ok {
+		return c.JumpDestAnalysis(vm.State.CodeHash(codeAddr), code)
+	}
+	return analyzeJumpDests(code)
 }
 
 // Call runs the code at `to` with the given input and value transfer.
@@ -162,7 +210,7 @@ func (vm *EVM) call(caller, contextAddr, codeAddr types.Address, input []byte, v
 		return &ExecResult{}
 	}
 
-	f := vm.newFrame(contextAddr, codeAddr, caller, value, code, input, gasLimit, readOnly)
+	f := vm.newFrame(contextAddr, codeAddr, caller, value, code, input, gasLimit, readOnly, vm.codeAnalysis(codeAddr, code))
 	res := vm.runFrame(f)
 	if res.Err != nil {
 		vm.State.RevertToSnapshot(snap)
@@ -212,7 +260,9 @@ func (vm *EVM) create(caller, addr types.Address, initCode []byte, value *uint25
 		}
 	}
 
-	f := vm.newFrame(addr, addr, caller, value, initCode, nil, gasLimit, false)
+	// Init code is not installed at any account, so it is analyzed
+	// fresh rather than through the state's code-hash-keyed cache.
+	f := vm.newFrame(addr, addr, caller, value, initCode, nil, gasLimit, false, analyzeJumpDests(initCode))
 	res := vm.runFrame(f)
 	if res.Err != nil {
 		vm.State.RevertToSnapshot(snap)
@@ -225,14 +275,13 @@ func (vm *EVM) create(caller, addr types.Address, initCode []byte, value *uint25
 		res.Err = fmt.Errorf("%w: %d bytes > %d", ErrCodeSizeLimit, len(runtime), vm.Config.CodeSizeLimit)
 		return res
 	}
-	if f.gas.metered {
-		if err := f.gas.consume(gasCodeDepositByte * uint64(len(runtime))); err != nil {
+	if res.gasMetered {
+		if err := res.depositGas(gasCodeDepositByte * uint64(len(runtime))); err != nil {
 			vm.State.RevertToSnapshot(snap)
 			res.Err = err
 			return res
 		}
-		res.GasUsed = f.gas.used
-		res.Stats.GasUsed = f.gas.used
+		res.Stats.GasUsed = res.GasUsed
 	}
 	vm.State.SetCode(addr, runtime)
 	vm.discardSnapshot(snap)
@@ -240,8 +289,21 @@ func (vm *EVM) create(caller, addr types.Address, initCode []byte, value *uint25
 	return res
 }
 
-func (vm *EVM) newFrame(contextAddr, codeAddr, caller types.Address, value *uint256.Int, code, input []byte, gasLimit uint64, readOnly bool) *frame {
-	return &frame{
+// gasMetered and depositGas carry the frame's gas accounting past its
+// release so create can charge the code-deposit fee without holding the
+// frame itself.
+func (r *ExecResult) depositGas(fee uint64) error {
+	if fee > r.gasRemaining {
+		return ErrOutOfGas
+	}
+	r.gasRemaining -= fee
+	r.GasUsed += fee
+	return nil
+}
+
+func (vm *EVM) newFrame(contextAddr, codeAddr, caller types.Address, value *uint256.Int, code, input []byte, gasLimit uint64, readOnly bool, jumpDests JumpDestBitmap) *frame {
+	f := framePool.Get().(*frame)
+	*f = frame{
 		vm:          vm,
 		address:     contextAddr,
 		codeAddress: codeAddr,
@@ -249,15 +311,30 @@ func (vm *EVM) newFrame(contextAddr, codeAddr, caller types.Address, value *uint
 		value:       *value,
 		code:        code,
 		input:       input,
-		gas:         newGasPool(gasLimit, vm.Config.Mode == ModeFull),
-		stack:       NewStack(vm.Config.StackLimit),
-		memory:      NewMemory(vm.Config.MemoryLimit),
+		gas:         gasPool{remaining: gasLimit, metered: vm.Config.Mode == ModeFull},
+		stack:       newPooledStack(vm.Config.StackLimit),
+		memory:      newPooledMemory(vm.Config.MemoryLimit),
 		readOnly:    readOnly,
-		jumpDests:   analyzeJumpDests(code),
+		jumpDests:   jumpDests,
 	}
+	return f
 }
 
-// runFrame executes a frame to completion and folds its stats.
+// release returns the frame and its pooled stack and memory for reuse.
+// The reset is leak-proof: stack words and memory bytes written during
+// execution are zeroed, and the high-water marks (the paper's
+// max-stack-depth and peak-memory instrumentation) are cleared, so the
+// next execution observes a pristine machine. The caller must not touch
+// the frame afterwards.
+func (f *frame) release() {
+	f.stack.release()
+	f.memory.release()
+	*f = frame{}
+	framePool.Put(f)
+}
+
+// runFrame executes a frame to completion, folds its stats, and
+// releases the frame back to the pool.
 func (vm *EVM) runFrame(f *frame) *ExecResult {
 	vm.depth++
 	defer func() { vm.depth-- }()
@@ -268,12 +345,16 @@ func (vm *EVM) runFrame(f *frame) *ExecResult {
 	if f.gas.metered {
 		f.stats.GasUsed = f.gas.used
 	}
-	return &ExecResult{
-		ReturnData: ret,
-		Err:        err,
-		GasUsed:    f.gas.used,
-		Stats:      f.stats,
+	res := &ExecResult{
+		ReturnData:   ret,
+		Err:          err,
+		GasUsed:      f.gas.used,
+		Stats:        f.stats,
+		gasMetered:   f.gas.metered,
+		gasRemaining: f.gas.remaining,
 	}
+	f.release()
+	return res
 }
 
 func (vm *EVM) transfer(from, to types.Address, amount *uint256.Int) error {

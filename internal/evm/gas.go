@@ -44,7 +44,10 @@ const (
 	gasMemoryWord uint64 = 3
 )
 
-// constGas returns the constant (pre-dynamic) gas cost of op.
+// constGas returns the constant (pre-dynamic) gas cost of op. It is
+// consulted once per opcode at jump-table build time — the resolved
+// cost lives in opTable[op].constGas, so the interpreter hot path never
+// walks this switch.
 func constGas(op Opcode) uint64 {
 	switch op {
 	case OpStop, OpReturn, OpRevert:
@@ -110,8 +113,10 @@ type gasPool struct {
 	memWords uint64
 }
 
-func newGasPool(limit uint64, metered bool) *gasPool {
-	return &gasPool{remaining: limit, metered: metered}
+// newGasPool returns a gas pool by value; frames embed it directly so
+// gas accounting costs no allocation.
+func newGasPool(limit uint64, metered bool) gasPool {
+	return gasPool{remaining: limit, metered: metered}
 }
 
 // consume deducts amount; it reports ErrOutOfGas when exhausted.

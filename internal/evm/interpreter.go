@@ -10,16 +10,23 @@ import (
 
 // run is the interpreter loop of one frame. It returns the RETURN/REVERT
 // payload and the terminal error (nil for STOP/RETURN).
+//
+// Dispatch is a single jump-table lookup: opTable[op] carries the
+// handler, the folded constant gas cost and the stack requirements, so
+// each step validates the stack up front (min operands present, net
+// growth within the configured limit), charges constant gas, and calls
+// the handler — no per-opcode switch.
 func (f *frame) run() ([]byte, error) {
 	vm := f.vm
+	isTiny := vm.Config.Mode == ModeTiny
+	stackLimit := f.stack.limit
 	for {
 		if f.pc >= uint64(len(f.code)) {
 			// Implicit STOP off the end of code.
 			return nil, nil
 		}
 		op := Opcode(f.code[f.pc])
-		entry := opTable[op]
-		info, defined := entry.opInfo, entry.defined
+		oper := &opTable[op]
 
 		if vm.stepsLeft == 0 {
 			return nil, ErrStepLimit
@@ -31,215 +38,32 @@ func (f *frame) run() ([]byte, error) {
 			vm.Tracer.CaptureOp(f.pc, op, f.stack, f.memory.Len())
 		}
 
-		if !defined || op == OpInvalid {
+		if !oper.defined || op == OpInvalid {
 			return nil, fmt.Errorf("%w: %s at pc %d", ErrInvalidOpcode, op, f.pc)
 		}
-		if vm.Config.Mode == ModeTiny && info.tinyRemoved {
-			return nil, fmt.Errorf("%w: %s at pc %d", ErrOpcodeRemoved, info.name, f.pc)
+		if isTiny && oper.tinyRemoved {
+			return nil, fmt.Errorf("%w: %s at pc %d", ErrOpcodeRemoved, oper.name, f.pc)
 		}
 		if op == OpSensor && !vm.Config.EnableSensorOpcode {
 			return nil, fmt.Errorf("%w: SENSOR at pc %d", ErrInvalidOpcode, f.pc)
 		}
-		if err := f.stack.Require(info.pops); err != nil {
-			return nil, fmt.Errorf("%s at pc %d: %w", info.name, f.pc, err)
+		if f.stack.Len() < oper.minStack {
+			return nil, fmt.Errorf("%s at pc %d: %w", oper.name, f.pc, ErrStackUnderflow)
 		}
-		if err := f.gas.consume(constGas(op)); err != nil {
+		if oper.growth > 0 && f.stack.Len()+oper.growth > stackLimit {
+			return nil, ErrStackOverflow
+		}
+		if err := f.gas.consume(oper.constGas); err != nil {
 			return nil, err
 		}
 
-		done, ret, err := f.step(op)
+		done, ret, err := oper.exec(f)
 		if err != nil {
 			return ret, err
 		}
 		if done {
 			return ret, nil
 		}
-	}
-}
-
-// step executes one opcode. It returns done=true with the frame's result
-// for terminal opcodes.
-func (f *frame) step(op Opcode) (done bool, ret []byte, err error) {
-	switch {
-	case op.IsPush():
-		return false, nil, f.opPush(op)
-	case op >= OpDup1 && op <= OpDup16:
-		return false, nil, f.advance(f.stack.Dup(int(op-OpDup1) + 1))
-	case op >= OpSwap1 && op <= OpSwap16:
-		return false, nil, f.advance(f.stack.Swap(int(op-OpSwap1) + 1))
-	case op >= OpLog0 && op <= OpLog4:
-		return false, nil, f.advance(f.opLog(int(op - OpLog0)))
-	}
-
-	switch op {
-	case OpStop:
-		return true, nil, nil
-
-	// --- arithmetic -------------------------------------------------
-	case OpAdd:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Add(x, y) })
-	case OpMul:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Mul(x, y) })
-	case OpSub:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Sub(x, y) })
-	case OpDiv:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Div(x, y) })
-	case OpSDiv:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.SDiv(x, y) })
-	case OpMod:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Mod(x, y) })
-	case OpSMod:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.SMod(x, y) })
-	case OpAddMod:
-		return false, nil, f.ternOp(func(z, x, y, m *uint256.Int) { z.AddMod(x, y, m) })
-	case OpMulMod:
-		return false, nil, f.ternOp(func(z, x, y, m *uint256.Int) { z.MulMod(x, y, m) })
-	case OpExp:
-		return false, nil, f.opExp()
-	case OpSignExtend:
-		return false, nil, f.binOp(func(z, b, x *uint256.Int) { z.SignExtend(b, x) })
-
-	// --- IoT --------------------------------------------------------
-	case OpSensor:
-		return false, nil, f.opSensor()
-
-	// --- comparison & bitwise ---------------------------------------
-	case OpLt:
-		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Lt(y) })
-	case OpGt:
-		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Gt(y) })
-	case OpSlt:
-		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Slt(y) })
-	case OpSgt:
-		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Sgt(y) })
-	case OpEq:
-		return false, nil, f.cmpOp(func(x, y *uint256.Int) bool { return x.Eq(y) })
-	case OpIsZero:
-		return false, nil, f.unOpBool(func(x *uint256.Int) bool { return x.IsZero() })
-	case OpAnd:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.And(x, y) })
-	case OpOr:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Or(x, y) })
-	case OpXor:
-		return false, nil, f.binOp(func(z, x, y *uint256.Int) { z.Xor(x, y) })
-	case OpNot:
-		return false, nil, f.unOp(func(z, x *uint256.Int) { z.Not(x) })
-	case OpByte:
-		return false, nil, f.binOp(func(z, n, x *uint256.Int) { z.Byte(n, x) })
-	case OpShl:
-		return false, nil, f.binOp(func(z, s, v *uint256.Int) { z.Shl(s, v) })
-	case OpShr:
-		return false, nil, f.binOp(func(z, s, v *uint256.Int) { z.Shr(s, v) })
-	case OpSar:
-		return false, nil, f.binOp(func(z, s, v *uint256.Int) { z.Sar(s, v) })
-
-	// --- crypto -----------------------------------------------------
-	case OpKeccak256:
-		return false, nil, f.opKeccak()
-
-	// --- environment ------------------------------------------------
-	case OpAddress:
-		return false, nil, f.pushAddr(f.address)
-	case OpBalance:
-		return false, nil, f.opBalance()
-	case OpOrigin:
-		return false, nil, f.pushAddr(f.vm.Tx.Origin)
-	case OpCaller:
-		return false, nil, f.pushAddr(f.caller)
-	case OpCallValue:
-		return false, nil, f.advance(f.stack.Push(&f.value))
-	case OpCallDataLoad:
-		return false, nil, f.opCallDataLoad()
-	case OpCallDataSize:
-		return false, nil, f.pushUint(uint64(len(f.input)))
-	case OpCallDataCopy:
-		return false, nil, f.opCopy(f.input)
-	case OpCodeSize:
-		return false, nil, f.pushUint(uint64(len(f.code)))
-	case OpCodeCopy:
-		return false, nil, f.opCopy(f.code)
-	case OpGasPrice:
-		return false, nil, f.pushUint(f.vm.Tx.GasPrice)
-	case OpExtCodeSize:
-		return false, nil, f.opExtCodeSize()
-	case OpExtCodeCopy:
-		return false, nil, f.opExtCodeCopy()
-	case OpReturnDataSize:
-		return false, nil, f.pushUint(uint64(len(f.returnData)))
-	case OpReturnDataCopy:
-		return false, nil, f.opCopy(f.returnData)
-	case OpExtCodeHash:
-		return false, nil, f.opExtCodeHash()
-
-	// --- blockchain (ModeFull only; removal handled in run) ----------
-	case OpBlockHash:
-		return false, nil, f.opBlockHash()
-	case OpCoinbase:
-		return false, nil, f.pushAddr(f.vm.Block.Coinbase)
-	case OpTimestamp:
-		return false, nil, f.pushUint(f.vm.Block.Timestamp)
-	case OpNumber:
-		return false, nil, f.pushUint(f.vm.Block.Number)
-	case OpDifficulty:
-		return false, nil, f.pushUint(f.vm.Block.Difficulty)
-	case OpGasLimit:
-		return false, nil, f.pushUint(f.vm.Block.GasLimit)
-
-	// --- stack / memory / storage / flow ------------------------------
-	case OpPop:
-		_, err := f.stack.Pop()
-		return false, nil, f.advance(err)
-	case OpMLoad:
-		return false, nil, f.opMLoad()
-	case OpMStore:
-		return false, nil, f.opMStore()
-	case OpMStore8:
-		return false, nil, f.opMStore8()
-	case OpSLoad:
-		return false, nil, f.opSLoad()
-	case OpSStore:
-		return false, nil, f.opSStore()
-	case OpJump:
-		return false, nil, f.opJump()
-	case OpJumpI:
-		return false, nil, f.opJumpI()
-	case OpPC:
-		return false, nil, f.pushUint(f.pc)
-	case OpMSize:
-		return false, nil, f.pushUint(f.memory.Len())
-	case OpGas:
-		return false, nil, f.pushUint(f.gas.remaining)
-	case OpJumpDest:
-		f.pc++
-		return false, nil, nil
-
-	// --- system -------------------------------------------------------
-	case OpCreate:
-		return false, nil, f.opCreate(false)
-	case OpCreate2:
-		return false, nil, f.opCreate(true)
-	case OpCall:
-		return false, nil, f.opCall(OpCall)
-	case OpCallCode:
-		return false, nil, f.opCall(OpCallCode)
-	case OpDelegateCall:
-		return false, nil, f.opCall(OpDelegateCall)
-	case OpStaticCall:
-		return false, nil, f.opCall(OpStaticCall)
-	case OpReturn:
-		ret, err := f.opReturnData()
-		return true, ret, err
-	case OpRevert:
-		ret, err := f.opReturnData()
-		if err != nil {
-			return true, nil, err
-		}
-		return true, ret, ErrRevert
-	case OpSelfDestruct:
-		return true, nil, f.opSelfDestruct()
-
-	default:
-		return true, nil, fmt.Errorf("%w: %s", ErrInvalidOpcode, op)
 	}
 }
 
@@ -262,72 +86,414 @@ func (f *frame) pushAddr(a types.Address) error {
 	return f.advance(f.stack.Push(&w))
 }
 
-// binOp pops (x, y) and pushes op(x, y).
-func (f *frame) binOp(apply func(z, x, y *uint256.Int)) error {
+// popPeek pops the top word and returns it together with a pointer to
+// the new top, which binary operations overwrite in place. Working
+// through the live slot avoids the escaping temporary the old
+// closure-based helpers allocated on every arithmetic opcode.
+//
+// The dispatch loop validates opTable[op].minStack before calling any
+// handler, so these Pop/Peek calls cannot underflow in practice; the
+// error paths are kept as cheap defense in depth should a table arity
+// ever drift from its handler.
+func (f *frame) popPeek() (uint256.Int, *uint256.Int, error) {
 	x, err := f.stack.Pop()
 	if err != nil {
-		return err
+		return x, nil, err
+	}
+	y, err := f.stack.Peek(0)
+	return x, y, err
+}
+
+// --- control ---------------------------------------------------------
+
+func execStop(f *frame) (bool, []byte, error) { return true, nil, nil }
+
+func execJumpDest(f *frame) (bool, []byte, error) {
+	f.pc++
+	return false, nil, nil
+}
+
+// --- arithmetic ------------------------------------------------------
+
+func execAdd(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.Add(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execMul(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.Mul(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execSub(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.Sub(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execDiv(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.Div(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execSDiv(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.SDiv(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execMod(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.Mod(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execSMod(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.SMod(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execAddMod(f *frame) (bool, []byte, error) {
+	x, err := f.stack.Pop()
+	if err != nil {
+		return false, nil, err
 	}
 	y, err := f.stack.Pop()
 	if err != nil {
-		return err
+		return false, nil, err
 	}
-	var z uint256.Int
-	apply(&z, &x, &y)
-	return f.advance(f.stack.Push(&z))
+	m, err := f.stack.Peek(0)
+	if err != nil {
+		return false, nil, err
+	}
+	m.AddMod(&x, &y, m)
+	f.pc++
+	return false, nil, nil
 }
 
-// ternOp pops (x, y, m) and pushes op(x, y, m).
-func (f *frame) ternOp(apply func(z, x, y, m *uint256.Int)) error {
+func execMulMod(f *frame) (bool, []byte, error) {
 	x, err := f.stack.Pop()
 	if err != nil {
-		return err
+		return false, nil, err
 	}
 	y, err := f.stack.Pop()
 	if err != nil {
-		return err
+		return false, nil, err
 	}
-	m, err := f.stack.Pop()
+	m, err := f.stack.Peek(0)
 	if err != nil {
-		return err
+		return false, nil, err
 	}
-	var z uint256.Int
-	apply(&z, &x, &y, &m)
-	return f.advance(f.stack.Push(&z))
+	m.MulMod(&x, &y, m)
+	f.pc++
+	return false, nil, nil
 }
 
-func (f *frame) unOp(apply func(z, x *uint256.Int)) error {
-	x, err := f.stack.Pop()
+func execExp(f *frame) (bool, []byte, error) {
+	base, err := f.stack.Pop()
 	if err != nil {
-		return err
+		return false, nil, err
 	}
-	var z uint256.Int
-	apply(&z, &x)
-	return f.advance(f.stack.Push(&z))
-}
-
-func (f *frame) cmpOp(pred func(x, y *uint256.Int) bool) error {
-	return f.binOp(func(z, x, y *uint256.Int) {
-		if pred(x, y) {
-			z.SetOne()
-		} else {
-			z.Clear()
+	exp, err := f.stack.Peek(0)
+	if err != nil {
+		return false, nil, err
+	}
+	if f.gas.metered {
+		if err := f.gas.consume(gasExpBase + gasExpByte*uint64(exp.ByteLen())); err != nil {
+			return false, nil, err
 		}
-	})
+	}
+	exp.Exp(&base, exp)
+	f.pc++
+	return false, nil, nil
 }
 
-func (f *frame) unOpBool(pred func(x *uint256.Int) bool) error {
-	return f.unOp(func(z, x *uint256.Int) {
-		if pred(x) {
-			z.SetOne()
-		} else {
-			z.Clear()
-		}
-	})
+func execSignExtend(f *frame) (bool, []byte, error) {
+	back, x, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	x.SignExtend(&back, x)
+	f.pc++
+	return false, nil, nil
 }
 
-func (f *frame) opPush(op Opcode) error {
-	n := op.PushBytes()
+// --- comparison & bitwise --------------------------------------------
+
+func execLt(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	setBool(y, x.Lt(y))
+	f.pc++
+	return false, nil, nil
+}
+
+func execGt(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	setBool(y, x.Gt(y))
+	f.pc++
+	return false, nil, nil
+}
+
+func execSlt(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	setBool(y, x.Slt(y))
+	f.pc++
+	return false, nil, nil
+}
+
+func execSgt(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	setBool(y, x.Sgt(y))
+	f.pc++
+	return false, nil, nil
+}
+
+func execEq(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	setBool(y, x.Eq(y))
+	f.pc++
+	return false, nil, nil
+}
+
+func execIsZero(f *frame) (bool, []byte, error) {
+	x, err := f.stack.Peek(0)
+	if err != nil {
+		return false, nil, err
+	}
+	setBool(x, x.IsZero())
+	f.pc++
+	return false, nil, nil
+}
+
+func setBool(z *uint256.Int, v bool) {
+	if v {
+		z.SetOne()
+	} else {
+		z.Clear()
+	}
+}
+
+func execAnd(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.And(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execOr(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.Or(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execXor(f *frame) (bool, []byte, error) {
+	x, y, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	y.Xor(&x, y)
+	f.pc++
+	return false, nil, nil
+}
+
+func execNot(f *frame) (bool, []byte, error) {
+	x, err := f.stack.Peek(0)
+	if err != nil {
+		return false, nil, err
+	}
+	x.Not(x)
+	f.pc++
+	return false, nil, nil
+}
+
+func execByte(f *frame) (bool, []byte, error) {
+	n, x, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	x.Byte(&n, x)
+	f.pc++
+	return false, nil, nil
+}
+
+func execShl(f *frame) (bool, []byte, error) {
+	s, v, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	v.Shl(&s, v)
+	f.pc++
+	return false, nil, nil
+}
+
+func execShr(f *frame) (bool, []byte, error) {
+	s, v, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	v.Shr(&s, v)
+	f.pc++
+	return false, nil, nil
+}
+
+func execSar(f *frame) (bool, []byte, error) {
+	s, v, err := f.popPeek()
+	if err != nil {
+		return false, nil, err
+	}
+	v.Sar(&s, v)
+	f.pc++
+	return false, nil, nil
+}
+
+// --- wrappers over the richer op implementations ---------------------
+
+func execSensor(f *frame) (bool, []byte, error) { return false, nil, f.opSensor() }
+func execKeccak(f *frame) (bool, []byte, error) { return false, nil, f.opKeccak() }
+
+func execAddress(f *frame) (bool, []byte, error) { return false, nil, f.pushAddr(f.address) }
+func execBalance(f *frame) (bool, []byte, error) { return false, nil, f.opBalance() }
+func execOrigin(f *frame) (bool, []byte, error)  { return false, nil, f.pushAddr(f.vm.Tx.Origin) }
+func execCaller(f *frame) (bool, []byte, error)  { return false, nil, f.pushAddr(f.caller) }
+func execCallValue(f *frame) (bool, []byte, error) {
+	return false, nil, f.advance(f.stack.Push(&f.value))
+}
+func execCallDataLoad(f *frame) (bool, []byte, error) {
+	return false, nil, f.opCallDataLoad()
+}
+func execCallDataSize(f *frame) (bool, []byte, error) {
+	return false, nil, f.pushUint(uint64(len(f.input)))
+}
+func execCallDataCopy(f *frame) (bool, []byte, error) { return false, nil, f.opCopy(f.input) }
+func execCodeSize(f *frame) (bool, []byte, error) {
+	return false, nil, f.pushUint(uint64(len(f.code)))
+}
+func execCodeCopy(f *frame) (bool, []byte, error)    { return false, nil, f.opCopy(f.code) }
+func execGasPrice(f *frame) (bool, []byte, error)    { return false, nil, f.pushUint(f.vm.Tx.GasPrice) }
+func execExtCodeSize(f *frame) (bool, []byte, error) { return false, nil, f.opExtCodeSize() }
+func execExtCodeCopy(f *frame) (bool, []byte, error) { return false, nil, f.opExtCodeCopy() }
+func execReturnDataSize(f *frame) (bool, []byte, error) {
+	return false, nil, f.pushUint(uint64(len(f.returnData)))
+}
+func execReturnDataCopy(f *frame) (bool, []byte, error) { return false, nil, f.opCopy(f.returnData) }
+func execExtCodeHash(f *frame) (bool, []byte, error)    { return false, nil, f.opExtCodeHash() }
+
+func execBlockHash(f *frame) (bool, []byte, error) { return false, nil, f.opBlockHash() }
+func execCoinbase(f *frame) (bool, []byte, error) {
+	return false, nil, f.pushAddr(f.vm.Block.Coinbase)
+}
+func execTimestamp(f *frame) (bool, []byte, error) {
+	return false, nil, f.pushUint(f.vm.Block.Timestamp)
+}
+func execNumber(f *frame) (bool, []byte, error) { return false, nil, f.pushUint(f.vm.Block.Number) }
+func execDifficulty(f *frame) (bool, []byte, error) {
+	return false, nil, f.pushUint(f.vm.Block.Difficulty)
+}
+func execGasLimit(f *frame) (bool, []byte, error) {
+	return false, nil, f.pushUint(f.vm.Block.GasLimit)
+}
+
+func execPop(f *frame) (bool, []byte, error) {
+	_, err := f.stack.Pop()
+	return false, nil, f.advance(err)
+}
+func execMLoad(f *frame) (bool, []byte, error)   { return false, nil, f.opMLoad() }
+func execMStore(f *frame) (bool, []byte, error)  { return false, nil, f.opMStore() }
+func execMStore8(f *frame) (bool, []byte, error) { return false, nil, f.opMStore8() }
+func execSLoad(f *frame) (bool, []byte, error)   { return false, nil, f.opSLoad() }
+func execSStore(f *frame) (bool, []byte, error)  { return false, nil, f.opSStore() }
+func execJump(f *frame) (bool, []byte, error)    { return false, nil, f.opJump() }
+func execJumpI(f *frame) (bool, []byte, error)   { return false, nil, f.opJumpI() }
+func execPC(f *frame) (bool, []byte, error)      { return false, nil, f.pushUint(f.pc) }
+func execMSize(f *frame) (bool, []byte, error)   { return false, nil, f.pushUint(f.memory.Len()) }
+func execGas(f *frame) (bool, []byte, error)     { return false, nil, f.pushUint(f.gas.remaining) }
+
+func execCreate(f *frame) (bool, []byte, error)  { return false, nil, f.opCreate(false) }
+func execCreate2(f *frame) (bool, []byte, error) { return false, nil, f.opCreate(true) }
+func execCall(f *frame) (bool, []byte, error)    { return false, nil, f.opCall(OpCall) }
+func execCallCode(f *frame) (bool, []byte, error) {
+	return false, nil, f.opCall(OpCallCode)
+}
+func execDelegateCall(f *frame) (bool, []byte, error) {
+	return false, nil, f.opCall(OpDelegateCall)
+}
+func execStaticCall(f *frame) (bool, []byte, error) {
+	return false, nil, f.opCall(OpStaticCall)
+}
+
+func execReturn(f *frame) (bool, []byte, error) {
+	ret, err := f.opReturnData()
+	return true, ret, err
+}
+
+func execRevert(f *frame) (bool, []byte, error) {
+	ret, err := f.opReturnData()
+	if err != nil {
+		return true, nil, err
+	}
+	return true, ret, ErrRevert
+}
+
+func execSelfDestruct(f *frame) (bool, []byte, error) { return true, nil, f.opSelfDestruct() }
+
+// --- op implementations ----------------------------------------------
+
+// opPush reads the n-byte immediate and pushes it.
+func (f *frame) opPush(n int) error {
 	start := f.pc + 1
 	end := start + uint64(n)
 	var chunk []byte
@@ -343,34 +509,15 @@ func (f *frame) opPush(op Opcode) error {
 	if len(chunk) == n {
 		w.SetBytes(chunk)
 	} else {
-		padded := make([]byte, n)
-		copy(padded, chunk)
-		w.SetBytes(padded)
+		var padded [32]byte
+		copy(padded[:n], chunk)
+		w.SetBytes(padded[:n])
 	}
 	if err := f.stack.Push(&w); err != nil {
 		return err
 	}
 	f.pc = end
 	return nil
-}
-
-func (f *frame) opExp() error {
-	base, err := f.stack.Pop()
-	if err != nil {
-		return err
-	}
-	exp, err := f.stack.Pop()
-	if err != nil {
-		return err
-	}
-	if f.gas.metered {
-		if err := f.gas.consume(gasExpBase + gasExpByte*uint64(exp.ByteLen())); err != nil {
-			return err
-		}
-	}
-	var z uint256.Int
-	z.Exp(&base, &exp)
-	return f.advance(f.stack.Push(&z))
 }
 
 func (f *frame) opSensor() error {
@@ -689,7 +836,7 @@ func (f *frame) opJumpI() error {
 }
 
 func (f *frame) jumpTo(dest *uint256.Int) error {
-	if !dest.IsUint64() || !f.jumpDests[dest.Uint64()] {
+	if !dest.IsUint64() || !f.jumpDests.Has(dest.Uint64()) {
 		return fmt.Errorf("%w: pc %s", ErrInvalidJump, dest.Dec())
 	}
 	f.pc = dest.Uint64()
@@ -946,7 +1093,7 @@ func (vm *EVM) callDelegate(origCaller, contextAddr, codeAddr types.Address, inp
 		vm.discardSnapshot(snap)
 		return &ExecResult{}
 	}
-	f := vm.newFrame(contextAddr, codeAddr, origCaller, value, code, input, gasLimit, readOnly)
+	f := vm.newFrame(contextAddr, codeAddr, origCaller, value, code, input, gasLimit, readOnly, vm.codeAnalysis(codeAddr, code))
 	res := vm.runFrame(f)
 	if res.Err != nil {
 		vm.State.RevertToSnapshot(snap)

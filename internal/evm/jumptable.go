@@ -1,0 +1,168 @@
+package evm
+
+// The 256-entry jump table at the heart of the interpreter hot path.
+// Each entry carries everything `run` needs to dispatch one opcode with
+// a single indexed load: the static metadata (name, stack arity, paper
+// category), the constant gas cost folded in from the schedule in
+// gas.go, the net stack growth for up-front overflow validation, and
+// the handler itself. The previous interpreter walked a ~400-case
+// double switch per step and resolved constant gas through a second
+// switch; the table collapses both into `opTable[op]`.
+
+// execFn executes one opcode on a frame. Terminal opcodes return
+// done=true with the frame's result payload.
+type execFn func(f *frame) (done bool, ret []byte, err error)
+
+// operation is one jump-table entry.
+type operation struct {
+	opInfo
+	// exec is the opcode handler (nil only for undefined bytes and
+	// OpInvalid, which the dispatch loop rejects before execution).
+	exec execFn
+	// constGas is the constant (pre-dynamic) gas cost, folded in from
+	// the schedule at table-build time.
+	constGas uint64
+	// minStack is the number of operand words the opcode consumes; the
+	// dispatch loop validates it before calling exec.
+	minStack int
+	// growth is pushes-pops: the net stack growth, validated up front
+	// against the configured stack limit when positive.
+	growth int
+	// defined reports whether the byte is a known opcode.
+	defined bool
+}
+
+// opTable is the interpreter's dispatch table, indexed by opcode byte.
+// It is filled in init (rather than a var initializer) because the
+// handlers reference the dispatch loop, which reads the table — a
+// harmless runtime recursion the compiler would otherwise flag as an
+// initialization cycle.
+var opTable [256]operation
+
+func init() { opTable = buildJumpTable() }
+
+func buildJumpTable() [256]operation {
+	exec := map[Opcode]execFn{
+		OpStop:       execStop,
+		OpAdd:        execAdd,
+		OpMul:        execMul,
+		OpSub:        execSub,
+		OpDiv:        execDiv,
+		OpSDiv:       execSDiv,
+		OpMod:        execMod,
+		OpSMod:       execSMod,
+		OpAddMod:     execAddMod,
+		OpMulMod:     execMulMod,
+		OpExp:        execExp,
+		OpSignExtend: execSignExtend,
+		OpSensor:     execSensor,
+
+		OpLt:     execLt,
+		OpGt:     execGt,
+		OpSlt:    execSlt,
+		OpSgt:    execSgt,
+		OpEq:     execEq,
+		OpIsZero: execIsZero,
+		OpAnd:    execAnd,
+		OpOr:     execOr,
+		OpXor:    execXor,
+		OpNot:    execNot,
+		OpByte:   execByte,
+		OpShl:    execShl,
+		OpShr:    execShr,
+		OpSar:    execSar,
+
+		OpKeccak256: execKeccak,
+
+		OpAddress:        execAddress,
+		OpBalance:        execBalance,
+		OpOrigin:         execOrigin,
+		OpCaller:         execCaller,
+		OpCallValue:      execCallValue,
+		OpCallDataLoad:   execCallDataLoad,
+		OpCallDataSize:   execCallDataSize,
+		OpCallDataCopy:   execCallDataCopy,
+		OpCodeSize:       execCodeSize,
+		OpCodeCopy:       execCodeCopy,
+		OpGasPrice:       execGasPrice,
+		OpExtCodeSize:    execExtCodeSize,
+		OpExtCodeCopy:    execExtCodeCopy,
+		OpReturnDataSize: execReturnDataSize,
+		OpReturnDataCopy: execReturnDataCopy,
+		OpExtCodeHash:    execExtCodeHash,
+
+		OpBlockHash:  execBlockHash,
+		OpCoinbase:   execCoinbase,
+		OpTimestamp:  execTimestamp,
+		OpNumber:     execNumber,
+		OpDifficulty: execDifficulty,
+		OpGasLimit:   execGasLimit,
+
+		OpPop:      execPop,
+		OpMLoad:    execMLoad,
+		OpMStore:   execMStore,
+		OpMStore8:  execMStore8,
+		OpSLoad:    execSLoad,
+		OpSStore:   execSStore,
+		OpJump:     execJump,
+		OpJumpI:    execJumpI,
+		OpPC:       execPC,
+		OpMSize:    execMSize,
+		OpGas:      execGas,
+		OpJumpDest: execJumpDest,
+
+		OpCreate:       execCreate,
+		OpCall:         execCall,
+		OpCallCode:     execCallCode,
+		OpReturn:       execReturn,
+		OpDelegateCall: execDelegateCall,
+		OpCreate2:      execCreate2,
+		OpStaticCall:   execStaticCall,
+		OpRevert:       execRevert,
+		OpSelfDestruct: execSelfDestruct,
+	}
+	for i := 0; i < 32; i++ {
+		exec[Opcode(int(OpPush1)+i)] = makePush(i + 1)
+	}
+	for i := 0; i < 16; i++ {
+		exec[Opcode(int(OpDup1)+i)] = makeDup(i + 1)
+	}
+	for i := 0; i < 16; i++ {
+		exec[Opcode(int(OpSwap1)+i)] = makeSwap(i + 1)
+	}
+	for i := 0; i < 5; i++ {
+		exec[Opcode(int(OpLog0)+i)] = makeLog(i)
+	}
+
+	var arr [256]operation
+	for op, info := range opInfoTable() {
+		arr[op] = operation{
+			opInfo:   info,
+			exec:     exec[op],
+			constGas: constGas(op),
+			minStack: info.pops,
+			growth:   info.pushes - info.pops,
+			defined:  true,
+		}
+		if arr[op].exec == nil && op != OpInvalid {
+			panic("evm: defined opcode without handler: " + info.name)
+		}
+	}
+	return arr
+}
+
+func makePush(n int) execFn {
+	return func(f *frame) (bool, []byte, error) { return false, nil, f.opPush(n) }
+}
+
+func makeDup(n int) execFn {
+	return func(f *frame) (bool, []byte, error) { return false, nil, f.advance(f.stack.Dup(n)) }
+}
+
+func makeSwap(n int) execFn {
+	return func(f *frame) (bool, []byte, error) { return false, nil, f.advance(f.stack.Swap(n)) }
+}
+
+func makeLog(topics int) execFn {
+	return func(f *frame) (bool, []byte, error) { return false, nil, f.advance(f.opLog(topics)) }
+}

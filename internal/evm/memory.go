@@ -1,6 +1,8 @@
 package evm
 
 import (
+	"sync"
+
 	"tinyevm/internal/uint256"
 )
 
@@ -20,6 +22,34 @@ type Memory struct {
 // NewMemory returns a memory with the given hard cap (0 = unlimited).
 func NewMemory(cap uint64) *Memory {
 	return &Memory{cap: cap}
+}
+
+// memoryPool recycles memories across frame executions. Released
+// memories are zeroed up to their previous length (see release), so
+// Expand can reuse retained capacity without exposing stale bytes.
+var memoryPool = sync.Pool{New: func() any { return new(Memory) }}
+
+// newPooledMemory returns a reset memory from the pool with the given
+// hard cap. Release it with release when the frame retires.
+func newPooledMemory(cap uint64) *Memory {
+	m := memoryPool.Get().(*Memory)
+	m.cap = cap
+	return m
+}
+
+// release zeroes the memory's contents, resets the peak-usage
+// instrumentation, and returns it to the pool. The backing array is
+// retained — Expand relies on the invariant that bytes between the
+// logical length and the capacity are always zero.
+func (m *Memory) release() {
+	d := m.data
+	for i := range d {
+		d[i] = 0
+	}
+	m.data = m.data[:0]
+	m.peak = 0
+	m.cap = 0
+	memoryPool.Put(m)
 }
 
 // Len returns the current memory size in bytes.
@@ -49,9 +79,15 @@ func (m *Memory) Expand(offset, size uint64) error {
 		return ErrMemoryLimit
 	}
 	if need > uint64(len(m.data)) {
-		grown := make([]byte, need)
-		copy(grown, m.data)
-		m.data = grown
+		if need <= uint64(cap(m.data)) {
+			// Reuse pooled capacity: the region past the logical length
+			// is kept zero (see release), so extending is safe.
+			m.data = m.data[:need]
+		} else {
+			grown := make([]byte, need)
+			copy(grown, m.data)
+			m.data = grown
+		}
 	}
 	if need > m.peak {
 		m.peak = need

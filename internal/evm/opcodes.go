@@ -198,18 +198,10 @@ type opInfo struct {
 	terminal bool
 }
 
-// opTable holds the metadata of every defined opcode, indexed by byte
-// for branch-free lookup in the interpreter hot path. Undefined bytes
-// have defined == false and execute as invalid opcodes.
-var opTable = buildOpTable()
-
-// opEntry wraps opInfo with a definedness flag for the array table.
-type opEntry struct {
-	opInfo
-	defined bool
-}
-
-func buildOpTable() [256]opEntry {
+// opInfoTable returns the static metadata of every defined opcode. The
+// jump table (jumptable.go) folds it together with the gas schedule and
+// the handlers into the [256]operation dispatch array.
+func opInfoTable() map[Opcode]opInfo {
 	t := map[Opcode]opInfo{
 		OpStop:       {name: "STOP", category: CategoryOperation, terminal: true},
 		OpAdd:        {name: "ADD", pops: 2, pushes: 1, category: CategoryOperation},
@@ -323,11 +315,7 @@ func buildOpTable() [256]opEntry {
 			category: CategoryMemory,
 		}
 	}
-	var arr [256]opEntry
-	for op, info := range t {
-		arr[op] = opEntry{opInfo: info, defined: true}
-	}
-	return arr
+	return t
 }
 
 func itoa(n int) string {

@@ -2,10 +2,10 @@ package evm
 
 import (
 	"crypto/sha256"
-	"math/big"
 
 	"tinyevm/internal/secp256k1"
 	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
 )
 
 // Precompiled contracts at the standard Ethereum addresses. TinyEVM keeps
@@ -77,7 +77,11 @@ func ecrecover(input []byte) []byte {
 	var hash types.Hash
 	copy(hash[:], padded[0:32])
 
-	vWord := new(big.Int).SetBytes(padded[32:64])
+	// Word parsing goes through the EVM's own 256-bit arithmetic; only
+	// the final signature hand-off converts to the big.Int form the
+	// curve implementation expects.
+	var vWord, r, s uint256.Int
+	vWord.SetBytes(padded[32:64])
 	if !vWord.IsUint64() {
 		return nil
 	}
@@ -88,10 +92,10 @@ func ecrecover(input []byte) []byte {
 	if v > 1 {
 		return nil
 	}
-	r := new(big.Int).SetBytes(padded[64:96])
-	s := new(big.Int).SetBytes(padded[96:128])
+	r.SetBytes(padded[64:96])
+	s.SetBytes(padded[96:128])
 
-	sig := &secp256k1.Signature{R: r, S: s, V: byte(v)}
+	sig := &secp256k1.Signature{R: r.ToBig(), S: s.ToBig(), V: byte(v)}
 	pub, err := secp256k1.RecoverPublicKey(hash, sig)
 	if err != nil {
 		return nil

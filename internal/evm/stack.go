@@ -1,6 +1,8 @@
 package evm
 
 import (
+	"sync"
+
 	"tinyevm/internal/uint256"
 )
 
@@ -17,6 +19,36 @@ type Stack struct {
 // NewStack returns a stack bounded to limit words.
 func NewStack(limit int) *Stack {
 	return &Stack{data: make([]uint256.Int, 0, min(limit, 64)), limit: limit}
+}
+
+// stackPool recycles stacks across frame executions. Stacks are
+// released with their used words zeroed (see release), so a pooled
+// stack is indistinguishable from a fresh one.
+var stackPool = sync.Pool{
+	New: func() any { return &Stack{data: make([]uint256.Int, 0, 64)} },
+}
+
+// newPooledStack returns a reset stack from the pool, bounded to limit
+// words. Release it with release when the frame retires.
+func newPooledStack(limit int) *Stack {
+	s := stackPool.Get().(*Stack)
+	s.limit = limit
+	return s
+}
+
+// release zeroes every word the stack ever held (the high-water mark
+// bounds them), resets the depth and high-water instrumentation, and
+// returns the stack to the pool. No stale operand survives into the
+// next execution.
+func (s *Stack) release() {
+	used := s.data[:s.maxDepth]
+	for i := range used {
+		used[i].Clear()
+	}
+	s.data = s.data[:0]
+	s.maxDepth = 0
+	s.limit = 0
+	stackPool.Put(s)
 }
 
 // Len returns the current depth.

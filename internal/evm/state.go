@@ -3,6 +3,7 @@ package evm
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"tinyevm/internal/keccak"
 	"tinyevm/internal/types"
@@ -78,14 +79,20 @@ type account struct {
 	storage map[uint256.Int]uint256.Int
 	// dead marks accounts removed by SELFDESTRUCT.
 	dead bool
+	// codeHash memoizes Keccak-256(code); it is computed eagerly in
+	// SetCode so concurrent readers (engine views) never race on it.
+	codeHash   types.Hash
+	codeHashed bool
 }
 
 func (a *account) clone() *account {
 	c := &account{
-		balance: a.balance,
-		nonce:   a.nonce,
-		code:    a.code, // code is immutable once set; share the slice
-		dead:    a.dead,
+		balance:    a.balance,
+		nonce:      a.nonce,
+		code:       a.code, // code is immutable once set; share the slice
+		dead:       a.dead,
+		codeHash:   a.codeHash,
+		codeHashed: a.codeHashed,
 	}
 	if a.storage != nil {
 		c.storage = make(map[uint256.Int]uint256.Int, len(a.storage))
@@ -107,14 +114,31 @@ type MemState struct {
 	accounts  map[types.Address]*account
 	logs      []Log
 	snapshots []*memSnapshot
+
+	// analysisMu guards analysis, the code-hash-keyed JUMPDEST bitmap
+	// cache. It is the one deliberately concurrency-safe piece of
+	// MemState: the parallel engine's workers execute on detached
+	// overlay views but share this cache through them, so repeated
+	// executions of the same contract — from any worker — stop
+	// re-scanning its bytecode.
+	analysisMu sync.Mutex
+	analysis   map[types.Hash]JumpDestBitmap
 }
+
+// maxAnalysisEntries bounds the JUMPDEST cache; one entry per distinct
+// code blob, far above any realistic contract population, but a hard
+// ceiling so a hostile workload cannot grow the cache without bound.
+const maxAnalysisEntries = 4096
 
 type memSnapshot struct {
 	accounts map[types.Address]*account
 	logCount int
 }
 
-var _ StateDB = (*MemState)(nil)
+var (
+	_ StateDB       = (*MemState)(nil)
+	_ JumpDestCache = (*MemState)(nil)
+)
 
 // NewMemState returns an empty state.
 func NewMemState() *MemState {
@@ -208,11 +232,16 @@ func (s *MemState) Code(addr types.Address) []byte {
 	return nil
 }
 
-// SetCode implements StateDB.
+// SetCode implements StateDB. The code hash is memoized eagerly:
+// mutation only happens single-threaded (speculative engine views
+// buffer their writes), so readers can use the memo without locking.
 func (s *MemState) SetCode(addr types.Address, code []byte) {
 	cp := make([]byte, len(code))
 	copy(cp, code)
-	s.acctOrCreate(addr).code = cp
+	a := s.acctOrCreate(addr)
+	a.code = cp
+	a.codeHash = types.HashData(cp)
+	a.codeHashed = true
 }
 
 // CodeHash implements StateDB.
@@ -221,7 +250,49 @@ func (s *MemState) CodeHash(addr types.Address) types.Hash {
 	if a == nil {
 		return types.Hash{}
 	}
+	if a.codeHashed {
+		return a.codeHash
+	}
+	// Accounts that never saw SetCode hash their (empty) code on the
+	// fly; deliberately not memoized here so the read stays pure under
+	// concurrent engine views.
 	return types.HashData(a.code)
+}
+
+// JumpDestAnalysis implements JumpDestCache: it returns the JUMPDEST
+// bitmap for code, computing it at most once per distinct code hash.
+// Unlike the rest of MemState it is safe for concurrent use — engine
+// workers share it through their overlay views.
+func (s *MemState) JumpDestAnalysis(codeHash types.Hash, code []byte) JumpDestBitmap {
+	s.analysisMu.Lock()
+	if b, ok := s.analysis[codeHash]; ok {
+		s.analysisMu.Unlock()
+		return b
+	}
+	s.analysisMu.Unlock()
+
+	// Analyze outside the lock; a concurrent duplicate analysis of the
+	// same code is harmless (identical bitmaps) and cheaper than
+	// holding the mutex across a bytecode scan.
+	b := analyzeJumpDests(code)
+
+	s.analysisMu.Lock()
+	defer s.analysisMu.Unlock()
+	if cached, ok := s.analysis[codeHash]; ok {
+		return cached
+	}
+	if s.analysis == nil {
+		s.analysis = make(map[types.Hash]JumpDestBitmap)
+	} else if len(s.analysis) >= maxAnalysisEntries {
+		// Evict an arbitrary entry; any evicted analysis is simply
+		// recomputed on next use.
+		for k := range s.analysis {
+			delete(s.analysis, k)
+			break
+		}
+	}
+	s.analysis[codeHash] = b
+	return b
 }
 
 // GetState implements StateDB.

@@ -75,8 +75,10 @@ func keccakF1600(a *[25]uint64) {
 	}
 }
 
-// Hasher is a streaming Keccak-256 hasher. The zero value is NOT ready to
-// use; construct with New. Hasher implements hash.Hash.
+// Hasher is a streaming Keccak-256 hasher implementing hash.Hash. The
+// zero value is ready to use — Sum256/Sum256Concat rely on that to keep
+// the sponge on the caller's stack — and New exists only for the
+// pointer-receiver hash.Hash idiom.
 type Hasher struct {
 	state  [25]uint64
 	buf    [rate256]byte
@@ -119,6 +121,13 @@ func (h *Hasher) absorbBlock() {
 // Sum appends the current hash to b and returns the resulting slice. It
 // does not change the underlying hash state.
 func (h *Hasher) Sum(b []byte) []byte {
+	out := h.sumFixed()
+	return append(b, out[:]...)
+}
+
+// sumFixed finalizes a copy of the sponge into a fixed-size output
+// without heap allocation — the interpreter's KECCAK256 hot path.
+func (h *Hasher) sumFixed() [Size]byte {
 	// Copy the state so Sum can be called repeatedly / interleaved with
 	// further writes.
 	dup := *h
@@ -135,7 +144,7 @@ func (h *Hasher) Sum(b []byte) []byte {
 	for i := 0; i < Size/8; i++ {
 		binary.LittleEndian.PutUint64(out[i*8:], dup.state[i])
 	}
-	return append(b, out[:]...)
+	return out
 }
 
 // Reset resets the hasher to its initial state.
@@ -150,23 +159,21 @@ func (h *Hasher) Size() int { return Size }
 // BlockSize returns the sponge rate in bytes (136).
 func (h *Hasher) BlockSize() int { return rate256 }
 
-// Sum256 returns the Keccak-256 digest of data.
+// Sum256 returns the Keccak-256 digest of data. It allocates nothing:
+// the sponge lives on the caller's stack and the digest is returned by
+// value.
 func Sum256(data []byte) [Size]byte {
-	h := New()
+	var h Hasher
 	h.Write(data) //nolint:errcheck // Write never fails
-	var out [Size]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	return h.sumFixed()
 }
 
 // Sum256Concat returns the Keccak-256 digest of the concatenation of the
 // given byte slices without building an intermediate buffer.
 func Sum256Concat(parts ...[]byte) [Size]byte {
-	h := New()
+	var h Hasher
 	for _, p := range parts {
 		h.Write(p) //nolint:errcheck // Write never fails
 	}
-	var out [Size]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	return h.sumFixed()
 }
