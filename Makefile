@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-smoke bench-report bench-gate
+.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e
 
 all: build lint test
 
@@ -31,7 +31,13 @@ bench-smoke:
 
 # Machine-readable benchmark report (BENCH_<n>.json schema).
 bench-report:
-	$(GO) run ./cmd/benchreport -q -out BENCH_3.json
+	$(GO) run ./cmd/benchreport -q -out BENCH_4.json
+
+# Crash-recovery end-to-end: SIGKILL a real tinyevm-serve -data-dir
+# daemon mid-workload, restart it, and assert the recovered head block,
+# balances and channel states — what the CI recover-e2e step runs.
+recover-e2e:
+	$(GO) test -race -v -run TestCrashRecoveryE2E .
 
 # Regression gate against the committed baseline — what the CI
 # bench-gate job runs. Refresh the baseline after intentional perf

@@ -245,6 +245,112 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
 }
 
+// BenchmarkSnapshotRevert measures the journaled snapshot machinery on
+// deep call trees with reverts — the cost that used to be a full
+// deep-copy of the account map on EVERY call frame and is now
+// O(writes-since-snapshot).
+//
+// calltree: a contract that writes one slot per frame and calls itself
+// recursively; the innermost frame REVERTs, so every execution
+// exercises nested Snapshot + one revert + depth discards, over a
+// populated state (512 accounts) that the old implementation copied
+// per frame.
+//
+// memstate: the raw MemState discipline without the interpreter —
+// nested snapshots, K writes per level, half reverted half discarded.
+func BenchmarkSnapshotRevert(b *testing.B) {
+	populate := func() *evm.MemState {
+		state := evm.NewMemState()
+		for i := 0; i < 512; i++ {
+			var a tinyevm.Address
+			a[0], a[18], a[19] = 0x51, byte(i>>8), byte(i)
+			state.AddBalance(a, uint256.NewInt(uint64(1000+i)))
+			state.SetState(a, uint256.NewInt(1), uint256.NewInt(uint64(i)))
+		}
+		return state
+	}
+
+	b.Run("calltree", func(b *testing.B) {
+		code, err := tinyevm.Assemble(`
+			PUSH1 0x00
+			CALLDATALOAD
+			DUP1
+			ISZERO
+			PUSH :leaf
+			JUMPI
+			DUP1
+			DUP1
+			SSTORE
+			PUSH1 0x01
+			SWAP1
+			SUB
+			PUSH1 0x00
+			MSTORE
+			PUSH1 0x00
+			PUSH1 0x00
+			PUSH1 0x20
+			PUSH1 0x00
+			PUSH1 0x00
+			ADDRESS
+			PUSH2 0xffff
+			CALL
+			POP
+			STOP
+			:leaf JUMPDEST
+			POP
+			PUSH1 0x2a
+			PUSH1 0x01
+			SSTORE
+			PUSH1 0x00
+			PUSH1 0x00
+			REVERT
+		`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		state := populate()
+		addr, _ := tinyevm.HexToAddress("0x00000000000000000000000000000000000000aa")
+		state.SetCode(addr, code)
+		vm := evm.New(evm.TinyConfig(), state)
+		caller, _ := tinyevm.HexToAddress("0x00000000000000000000000000000000000000bb")
+		depth := make([]byte, 32)
+		depth[31] = 12
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := vm.Call(caller, addr, depth, uint256.NewInt(0), 0)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+
+	b.Run("memstate", func(b *testing.B) {
+		state := populate()
+		var hot tinyevm.Address
+		hot[19] = 0x51
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ids := make([]int, 0, 12)
+			for d := 0; d < 12; d++ {
+				ids = append(ids, state.Snapshot())
+				state.AddBalance(hot, uint256.NewInt(1))
+				state.SetState(hot, uint256.NewInt(uint64(d)), uint256.NewInt(uint64(i+1)))
+			}
+			// Discard the odd levels first — non-topmost discards, the
+			// case the old implementation leaked — then revert the even
+			// levels outward.
+			for d := 1; d < 12; d += 2 {
+				state.DiscardSnapshot(ids[d])
+			}
+			for d := 10; d >= 0; d -= 2 {
+				state.RevertToSnapshot(ids[d])
+			}
+		}
+	})
+}
+
 // BenchmarkEngineMineBlock compares serial block production against the
 // parallel off-chain execution engine at 1, 4 and 16 workers on the
 // canonical multi-device workload (64 devices x 8 txs, 5% hot-contract

@@ -33,14 +33,17 @@ import (
 	"time"
 )
 
-// defaultBench selects the core engine/interpreter benchmarks plus the
-// table-2 corpus deployment throughput.
-const defaultBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkTableII_Fig3_Fig4_Deploy)$"
+// defaultBench selects the core engine/interpreter benchmarks (jump
+// table, journaled snapshots) plus the table-2 corpus deployment
+// throughput.
+const defaultBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkTableII_Fig3_Fig4_Deploy)$"
 
 // gatedBench selects the benchmarks the regression gate enforces: the
-// engine and interpreter hot paths. The corpus benchmark is reported
-// but not gated (its ns/op is dominated by the simulated device clock).
-const gatedBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput)"
+// engine and interpreter hot paths, including the journaled
+// snapshot/revert machinery every CALL/CREATE frame pays for. The
+// corpus benchmark is reported but not gated (its ns/op is dominated by
+// the simulated device clock).
+const gatedBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert)"
 
 // Report is the machine-readable artifact (BENCH_<n>.json schema).
 type Report struct {

@@ -42,24 +42,36 @@ func main() {
 		workers   = flag.Int("engine-workers", 0, "parallel-engine workers for block production (0 = serial)")
 		lossRate  = flag.Float64("radio-loss", 0, "per-frame radio loss probability")
 		radioSeed = flag.Int64("radio-seed", 1, "radio loss process seed")
+		dataDir   = flag.String("data-dir", "", "persist the deployment to a write-ahead log in this directory; on restart the previous state (nodes, channels, balances, blocks) is recovered")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	svc, prov, err := tinyevm.NewService(*provider,
+	opts := []tinyevm.Option{
 		tinyevm.WithChallengePeriod(*challenge),
 		tinyevm.WithEngineWorkers(*workers),
 		tinyevm.WithRadioLossRate(*lossRate),
 		tinyevm.WithRadioSeed(*radioSeed),
-	)
+	}
+	if *dataDir != "" {
+		opts = append(opts, tinyevm.WithDataDir(*dataDir))
+	}
+	svc, prov, err := tinyevm.NewService(*provider, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer svc.Close()
-	prov.RegisterSensor(tinyevm.SensorTemperature,
-		func(uint64) (uint64, error) { return rpc.DefaultSensorValue, nil })
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "tinyevm-serve: recovered state from %s (head block %d)\n",
+			*dataDir, mustHead(ctx, svc))
+	}
+	// Journaled default sensor: replayed on recovery before any channel
+	// contract reads it; re-registering the same value is idempotent.
+	if err := prov.RegisterSensorValue(ctx, tinyevm.SensorTemperature, rpc.DefaultSensorValue); err != nil {
+		fatal(err)
+	}
 
 	server := &http.Server{
 		Addr:        *addr,
@@ -85,6 +97,14 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func mustHead(ctx context.Context, svc *tinyevm.Service) uint64 {
+	head, err := svc.HeadBlock(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	return head
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"tinyevm/internal/evm"
 	"tinyevm/internal/keccak"
 	"tinyevm/internal/secp256k1"
+	"tinyevm/internal/store"
 	"tinyevm/internal/types"
 	"tinyevm/internal/uint256"
 )
@@ -178,6 +179,9 @@ type Chain struct {
 	// on the sealing goroutine; the service layer uses them to publish
 	// block-sealed events.
 	sealHooks []func(*Block, []*Receipt)
+	// kv and storeErr belong to the persistence layer (see persist.go).
+	kv       store.KVStore
+	storeErr error
 }
 
 // New creates a chain with a genesis block.
@@ -423,6 +427,8 @@ func (c *Chain) ExecuteTx(st evm.StateDB, block *Block, tx *Transaction) (*Recei
 			out, err := native.Run(c, sender, tx.Value, tx.Data)
 			if err != nil {
 				st.RevertToSnapshot(snap)
+			} else {
+				st.DiscardSnapshot(snap)
 			}
 			r.GasUsed = intrinsic + NativeGas
 			if r.GasUsed > tx.GasLimit {

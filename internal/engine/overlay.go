@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sort"
 
 	"tinyevm/internal/evm"
@@ -206,12 +207,125 @@ type view struct {
 	logs     []evm.Log
 	access   *accessSet
 
-	snapshots []*viewSnapshot
+	// journal holds one reverting entry per overlay mutation made while
+	// a snapshot is outstanding — the same journal discipline as
+	// MemState, so worker views stop deep-copying their overlay on
+	// every call frame.
+	journal []viewEntry
+	ledger  evm.SnapshotLedger
 }
 
-type viewSnapshot struct {
-	accounts map[types.Address]*ovAccount
-	logCount int
+// viewKind tags one overlay journal entry.
+type viewKind uint8
+
+const (
+	// vjBalance restores the balance group (absolute value, pending
+	// delta and their flags).
+	vjBalance viewKind = iota
+	// vjNonce restores the nonce group.
+	vjNonce
+	// vjCode restores the code group.
+	vjCode
+	// vjStorage restores one overlay storage slot (value, or absence).
+	vjStorage
+	// vjTouch restores the touched flag alone (CreateAccount).
+	vjTouch
+	// vjCreate deletes an overlay record materialized after the
+	// snapshot.
+	vjCreate
+	// vjWipe restores the full pre-SELFDESTRUCT record.
+	vjWipe
+	// vjLog pops one appended log.
+	vjLog
+)
+
+// viewEntry is one reverting overlay entry; a tagged union so the
+// journal is a flat, allocation-amortized slice. Field-group entries
+// also carry the touched flag: every mutator flips it, so each group
+// restores the value it observed.
+type viewEntry struct {
+	kind viewKind
+	addr types.Address
+
+	prevBalance, prevDelta              uint256.Int
+	prevDeltaOn, prevKnown, prevWritten bool
+
+	prevNonce uint64
+
+	prevCode   []byte
+	prevHash   types.Hash
+	prevHashOK bool
+
+	key, prevVal uint256.Int
+	prevPresent  bool
+
+	prevTouched bool
+
+	// prevAcct is the record clone a vjWipe restores.
+	prevAcct *ovAccount
+}
+
+// journaling reports whether overlay mutations must be journaled.
+func (v *view) journaling() bool { return v.ledger.Outstanding() }
+
+// undo reverts one journal entry against the overlay.
+func (v *view) undo(e *viewEntry) {
+	switch e.kind {
+	case vjBalance:
+		a := v.accounts[e.addr]
+		a.balance = e.prevBalance
+		a.balDelta = e.prevDelta
+		a.balDeltaOn = e.prevDeltaOn
+		a.balKnown = e.prevKnown
+		a.balWritten = e.prevWritten
+		a.touched = e.prevTouched
+	case vjNonce:
+		a := v.accounts[e.addr]
+		a.nonce = e.prevNonce
+		a.nonceKnown = e.prevKnown
+		a.nonceWritten = e.prevWritten
+		a.touched = e.prevTouched
+	case vjCode:
+		a := v.accounts[e.addr]
+		a.code = e.prevCode
+		a.codeKnown = e.prevKnown
+		a.codeWritten = e.prevWritten
+		a.codeHash = e.prevHash
+		a.codeHashOK = e.prevHashOK
+		a.touched = e.prevTouched
+	case vjStorage:
+		a := v.accounts[e.addr]
+		if e.prevPresent {
+			if a.storage == nil {
+				a.storage = make(map[uint256.Int]uint256.Int)
+			}
+			a.storage[e.key] = e.prevVal
+		} else if a.storage != nil {
+			delete(a.storage, e.key)
+		}
+		a.touched = e.prevTouched
+	case vjTouch:
+		v.accounts[e.addr].touched = e.prevTouched
+	case vjCreate:
+		delete(v.accounts, e.addr)
+	case vjWipe:
+		v.accounts[e.addr] = e.prevAcct
+	case vjLog:
+		v.logs = v.logs[:len(v.logs)-1]
+	}
+}
+
+// journalBalance appends a balance-group entry for a.
+func (v *view) journalBalance(addr types.Address, a *ovAccount) {
+	if !v.journaling() {
+		return
+	}
+	v.journal = append(v.journal, viewEntry{
+		kind: vjBalance, addr: addr,
+		prevBalance: a.balance, prevDelta: a.balDelta,
+		prevDeltaOn: a.balDeltaOn, prevKnown: a.balKnown, prevWritten: a.balWritten,
+		prevTouched: a.touched,
+	})
 }
 
 var (
@@ -230,6 +344,9 @@ func newView(base *evm.MemState) *view {
 func (v *view) acct(addr types.Address) *ovAccount {
 	a, ok := v.accounts[addr]
 	if !ok {
+		if v.journaling() {
+			v.journal = append(v.journal, viewEntry{kind: vjCreate, addr: addr})
+		}
 		a = &ovAccount{}
 		v.accounts[addr] = a
 	}
@@ -272,7 +389,13 @@ func (v *view) Exists(addr types.Address) bool {
 }
 
 // CreateAccount implements StateDB.
-func (v *view) CreateAccount(addr types.Address) { v.acct(addr).touched = true }
+func (v *view) CreateAccount(addr types.Address) {
+	a := v.acct(addr)
+	if v.journaling() {
+		v.journal = append(v.journal, viewEntry{kind: vjTouch, addr: addr, prevTouched: a.touched})
+	}
+	a.touched = true
+}
 
 // Balance implements StateDB.
 func (v *view) Balance(addr types.Address) *uint256.Int {
@@ -286,6 +409,7 @@ func (v *view) Balance(addr types.Address) *uint256.Int {
 // absolute.
 func (v *view) AddBalance(addr types.Address, amount *uint256.Int) {
 	a := v.acct(addr)
+	v.journalBalance(addr, a)
 	a.touched = true
 	if !a.balKnown {
 		a.balDelta.Add(&a.balDelta, amount)
@@ -302,6 +426,7 @@ func (v *view) AddBalance(addr types.Address, amount *uint256.Int) {
 // sufficiency check), so they always load.
 func (v *view) SubBalance(addr types.Address, amount *uint256.Int) error {
 	a := v.acct(addr)
+	v.journalBalance(addr, a)
 	a.touched = true
 	v.loadBalance(addr, a)
 	if a.balance.Lt(amount) {
@@ -327,6 +452,13 @@ func (v *view) Nonce(addr types.Address) uint64 {
 // SetNonce implements StateDB.
 func (v *view) SetNonce(addr types.Address, nonce uint64) {
 	a := v.acct(addr)
+	if v.journaling() {
+		v.journal = append(v.journal, viewEntry{
+			kind: vjNonce, addr: addr,
+			prevNonce: a.nonce, prevKnown: a.nonceKnown, prevWritten: a.nonceWritten,
+			prevTouched: a.touched,
+		})
+	}
 	a.touched = true
 	a.nonce = nonce
 	a.nonceKnown = true
@@ -350,6 +482,14 @@ func (v *view) SetCode(addr types.Address, code []byte) {
 	cp := make([]byte, len(code))
 	copy(cp, code)
 	a := v.acct(addr)
+	if v.journaling() {
+		v.journal = append(v.journal, viewEntry{
+			kind: vjCode, addr: addr,
+			prevCode: a.code, prevKnown: a.codeKnown, prevWritten: a.codeWritten,
+			prevHash: a.codeHash, prevHashOK: a.codeHashOK,
+			prevTouched: a.touched,
+		})
+	}
 	a.touched = true
 	a.code = cp
 	a.codeKnown = true
@@ -413,6 +553,14 @@ func (v *view) GetState(addr types.Address, key *uint256.Int) uint256.Int {
 // MemState.SetState, which deletes.
 func (v *view) SetState(addr types.Address, key, val *uint256.Int) {
 	a := v.acct(addr)
+	if v.journaling() {
+		prev, present := a.storage[*key]
+		v.journal = append(v.journal, viewEntry{
+			kind: vjStorage, addr: addr,
+			key: *key, prevVal: prev, prevPresent: present,
+			prevTouched: a.touched,
+		})
+	}
 	a.touched = true
 	if a.storage == nil {
 		a.storage = make(map[uint256.Int]uint256.Int)
@@ -459,6 +607,9 @@ func (v *view) SelfDestruct(addr, beneficiary types.Address) {
 	if beneficiary != addr {
 		v.AddBalance(beneficiary, bal)
 	}
+	if v.journaling() {
+		v.journal = append(v.journal, viewEntry{kind: vjWipe, addr: addr, prevAcct: a.clone()})
+	}
 	a.balance.Clear()
 	a.balDelta.Clear()
 	a.balDeltaOn = false
@@ -483,7 +634,12 @@ func (v *view) SelfDestruct(addr, beneficiary types.Address) {
 }
 
 // AddLog implements StateDB.
-func (v *view) AddLog(log evm.Log) { v.logs = append(v.logs, log) }
+func (v *view) AddLog(log evm.Log) {
+	if v.journaling() {
+		v.journal = append(v.journal, viewEntry{kind: vjLog})
+	}
+	v.logs = append(v.logs, log)
+}
 
 // Logs implements StateDB: only the logs emitted through this view. The
 // engine reconstructs the serial path's cumulative log slices at merge.
@@ -491,36 +647,37 @@ func (v *view) Logs() []evm.Log { return v.logs }
 
 // Snapshot implements StateDB over the overlay only; the base is
 // immutable during speculation. Access sets are deliberately not
-// snapshotted: reads and writes that later revert stay recorded, which
+// journaled: reads and writes that later revert stay recorded, which
 // is conservative (possible false conflict) but never unsound.
 func (v *view) Snapshot() int {
-	snap := &viewSnapshot{
-		accounts: make(map[types.Address]*ovAccount, len(v.accounts)),
-		logCount: len(v.logs),
-	}
-	for addr, a := range v.accounts {
-		snap.accounts[addr] = a.clone()
-	}
-	v.snapshots = append(v.snapshots, snap)
-	return len(v.snapshots) - 1
+	return v.ledger.Snapshot(len(v.journal))
 }
 
-// RevertToSnapshot implements StateDB.
+// RevertToSnapshot implements StateDB with the same strict journal
+// semantics as MemState: unknown ids panic.
 func (v *view) RevertToSnapshot(id int) {
-	if id < 0 || id >= len(v.snapshots) {
-		return
+	watermark, ok := v.ledger.Revert(id)
+	if !ok {
+		panic(fmt.Sprintf("engine: RevertToSnapshot(%d): snapshot not outstanding", id))
 	}
-	snap := v.snapshots[id]
-	v.accounts = snap.accounts
-	v.logs = v.logs[:snap.logCount]
-	v.snapshots = v.snapshots[:id]
+	for i := len(v.journal) - 1; i >= watermark; i-- {
+		v.undo(&v.journal[i])
+	}
+	v.journal = v.journal[:watermark]
+	if !v.ledger.Outstanding() {
+		v.journal = v.journal[:0]
+	}
 }
 
 // DiscardSnapshot mirrors MemState.DiscardSnapshot so the EVM's
-// success-path snapshot recycling works on views too.
+// success-path snapshot recycling works on views too: any outstanding
+// id may be discarded, in any order; unknown ids panic.
 func (v *view) DiscardSnapshot(id int) {
-	if id >= 0 && id == len(v.snapshots)-1 {
-		v.snapshots = v.snapshots[:id]
+	if !v.ledger.Discard(id) {
+		panic(fmt.Sprintf("engine: DiscardSnapshot(%d): snapshot not outstanding", id))
+	}
+	if !v.ledger.Outstanding() {
+		v.journal = v.journal[:0]
 	}
 }
 

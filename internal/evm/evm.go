@@ -198,7 +198,7 @@ func (vm *EVM) call(caller, contextAddr, codeAddr types.Address, input []byte, v
 			}
 			res.GasUsed = fee
 		}
-		vm.discardSnapshot(snap)
+		vm.State.DiscardSnapshot(snap)
 		return res
 	}
 
@@ -206,7 +206,7 @@ func (vm *EVM) call(caller, contextAddr, codeAddr types.Address, input []byte, v
 	if len(code) == 0 {
 		// Plain value transfer or call to empty account: succeeds with
 		// no execution.
-		vm.discardSnapshot(snap)
+		vm.State.DiscardSnapshot(snap)
 		return &ExecResult{}
 	}
 
@@ -215,7 +215,7 @@ func (vm *EVM) call(caller, contextAddr, codeAddr types.Address, input []byte, v
 	if res.Err != nil {
 		vm.State.RevertToSnapshot(snap)
 	} else {
-		vm.discardSnapshot(snap)
+		vm.State.DiscardSnapshot(snap)
 	}
 	return res
 }
@@ -284,7 +284,7 @@ func (vm *EVM) create(caller, addr types.Address, initCode []byte, value *uint25
 		res.Stats.GasUsed = res.GasUsed
 	}
 	vm.State.SetCode(addr, runtime)
-	vm.discardSnapshot(snap)
+	vm.State.DiscardSnapshot(snap)
 	res.ContractAddress = addr
 	return res
 }
@@ -363,12 +363,4 @@ func (vm *EVM) transfer(from, to types.Address, amount *uint256.Int) error {
 	}
 	vm.State.AddBalance(to, amount)
 	return nil
-}
-
-// discardSnapshot drops a snapshot on the success path when the backend
-// supports it.
-func (vm *EVM) discardSnapshot(id int) {
-	if d, ok := vm.State.(interface{ DiscardSnapshot(int) }); ok {
-		d.DiscardSnapshot(id)
-	}
 }

@@ -241,11 +241,22 @@ func TestMemStateDiscardSnapshot(t *testing.T) {
 	id := s.Snapshot()
 	s.AddBalance(a, uint256.NewInt(5))
 	s.DiscardSnapshot(id)
-	// Revert to a discarded snapshot is a no-op.
-	s.RevertToSnapshot(id)
 	if got := s.Balance(a); got.Uint64() != 5 {
-		t.Fatalf("discarded snapshot reverted: %s", got.Dec())
+		t.Fatalf("discard lost changes: %s", got.Dec())
 	}
+	// Reverting to a discarded snapshot is a snapshot-discipline bug
+	// and panics under the strict journal semantics.
+	assertPanics(t, func() { s.RevertToSnapshot(id) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
 }
 
 func TestMemStateSelfDestructAndRecreate(t *testing.T) {

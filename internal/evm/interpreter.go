@@ -1090,7 +1090,7 @@ func (vm *EVM) callDelegate(origCaller, contextAddr, codeAddr types.Address, inp
 	snap := vm.State.Snapshot()
 	code := vm.State.Code(codeAddr)
 	if len(code) == 0 {
-		vm.discardSnapshot(snap)
+		vm.State.DiscardSnapshot(snap)
 		return &ExecResult{}
 	}
 	f := vm.newFrame(contextAddr, codeAddr, origCaller, value, code, input, gasLimit, readOnly, vm.codeAnalysis(codeAddr, code))
@@ -1098,7 +1098,7 @@ func (vm *EVM) callDelegate(origCaller, contextAddr, codeAddr types.Address, inp
 	if res.Err != nil {
 		vm.State.RevertToSnapshot(snap)
 	} else {
-		vm.discardSnapshot(snap)
+		vm.State.DiscardSnapshot(snap)
 	}
 	return res
 }

@@ -1,0 +1,182 @@
+package evm
+
+import (
+	"sort"
+
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+// This file implements the journal behind MemState's snapshots: instead
+// of deep-copying the whole account map on every Snapshot (O(state) per
+// call frame), every mutation made while at least one snapshot is
+// outstanding appends one reverting entry, and RevertToSnapshot undoes
+// the entries above the snapshot's watermark (O(writes-since-snapshot)).
+// The engine's overlay views follow the same discipline with their own
+// entry type (see internal/engine/overlay.go) and share SnapshotLedger.
+
+// SnapshotLedger maps snapshot ids to journal watermarks for
+// journal-based StateDB implementations. Ids are monotonically
+// increasing and strict: reverting or discarding an id that is not
+// outstanding is a caller bug, reported by the ok return so the owner
+// can panic with its own message.
+type SnapshotLedger struct {
+	revisions []revision
+	nextID    int
+}
+
+// revision is one outstanding snapshot: its id and the journal length
+// at the time it was taken.
+type revision struct {
+	id        int
+	watermark int
+}
+
+// Snapshot registers a new snapshot over a journal currently holding
+// watermark entries and returns its id.
+func (l *SnapshotLedger) Snapshot(watermark int) int {
+	id := l.nextID
+	l.nextID++
+	l.revisions = append(l.revisions, revision{id: id, watermark: watermark})
+	return id
+}
+
+// Revert resolves id to its journal watermark and drops it together
+// with every later snapshot (reverting past a snapshot invalidates the
+// snapshots taken inside it). ok is false when id is not outstanding.
+func (l *SnapshotLedger) Revert(id int) (watermark int, ok bool) {
+	i := l.find(id)
+	if i < 0 {
+		return 0, false
+	}
+	watermark = l.revisions[i].watermark
+	l.revisions = l.revisions[:i]
+	return watermark, true
+}
+
+// Discard drops just the given snapshot, keeping all changes and every
+// other outstanding snapshot (including older ones). ok is false when
+// id is not outstanding.
+func (l *SnapshotLedger) Discard(id int) bool {
+	i := l.find(id)
+	if i < 0 {
+		return false
+	}
+	l.revisions = append(l.revisions[:i], l.revisions[i+1:]...)
+	return true
+}
+
+// Outstanding reports whether any snapshot is live. While false, state
+// mutations need not be journaled: nothing can revert them.
+func (l *SnapshotLedger) Outstanding() bool { return len(l.revisions) > 0 }
+
+// find locates id in the (ascending) revision list.
+func (l *SnapshotLedger) find(id int) int {
+	i := sort.Search(len(l.revisions), func(i int) bool { return l.revisions[i].id >= id })
+	if i < len(l.revisions) && l.revisions[i].id == id {
+		return i
+	}
+	return -1
+}
+
+// journalKind tags one reverting entry.
+type journalKind uint8
+
+const (
+	// journalBalance restores a previous account balance.
+	journalBalance journalKind = iota
+	// journalNonce restores a previous account nonce.
+	journalNonce
+	// journalStorage restores one storage slot (value, or absence).
+	journalStorage
+	// journalCode restores previous code and its memoized hash.
+	journalCode
+	// journalCreate deletes an account record materialized after the
+	// snapshot.
+	journalCreate
+	// journalResurrect restores the dead record a re-created account
+	// replaced.
+	journalResurrect
+	// journalDestruct clears a SELFDESTRUCT: un-marks dead and restores
+	// the pre-destruct balance.
+	journalDestruct
+	// journalLog pops one appended log.
+	journalLog
+)
+
+// journalEntry is one reverting entry. A tagged union rather than an
+// interface so the journal is a flat slice: appending stays
+// allocation-free once the backing array has grown.
+type journalEntry struct {
+	kind journalKind
+	addr types.Address
+
+	// key is the storage slot of a journalStorage entry.
+	key uint256.Int
+	// prevWord is the previous balance (journalBalance, journalDestruct)
+	// or storage value (journalStorage).
+	prevWord uint256.Int
+	// prevPresent reports whether the storage slot existed.
+	prevPresent bool
+
+	prevNonce uint64
+
+	prevCode       []byte
+	prevCodeHash   types.Hash
+	prevCodeHashed bool
+
+	// prevAcct is the dead record replaced by a re-creation
+	// (journalResurrect).
+	prevAcct *account
+}
+
+// journaling reports whether mutations must currently be journaled.
+func (s *MemState) journaling() bool { return s.ledger.Outstanding() }
+
+// undo reverts one journal entry against the current state.
+func (s *MemState) undo(e *journalEntry) {
+	switch e.kind {
+	case journalBalance:
+		s.accounts[e.addr].balance = e.prevWord
+	case journalNonce:
+		s.accounts[e.addr].nonce = e.prevNonce
+	case journalStorage:
+		a := s.accounts[e.addr]
+		if e.prevPresent {
+			if a.storage == nil {
+				a.storage = make(map[uint256.Int]uint256.Int)
+			}
+			a.storage[e.key] = e.prevWord
+		} else if a.storage != nil {
+			delete(a.storage, e.key)
+		}
+	case journalCode:
+		a := s.accounts[e.addr]
+		a.code = e.prevCode
+		a.codeHash = e.prevCodeHash
+		a.codeHashed = e.prevCodeHashed
+	case journalCreate:
+		delete(s.accounts, e.addr)
+	case journalResurrect:
+		s.accounts[e.addr] = e.prevAcct
+	case journalDestruct:
+		a := s.accounts[e.addr]
+		a.dead = false
+		a.balance = e.prevWord
+	case journalLog:
+		s.logs = s.logs[:len(s.logs)-1]
+	}
+}
+
+// revertJournal undoes every entry above watermark, newest first, and
+// truncates the journal. When the last snapshot is gone the remaining
+// prefix is unreachable and is dropped too (capacity is kept).
+func (s *MemState) revertJournal(watermark int) {
+	for i := len(s.journal) - 1; i >= watermark; i-- {
+		s.undo(&s.journal[i])
+	}
+	s.journal = s.journal[:watermark]
+	if !s.ledger.Outstanding() {
+		s.journal = s.journal[:0]
+	}
+}

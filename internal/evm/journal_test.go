@@ -1,0 +1,218 @@
+package evm
+
+import (
+	"testing"
+
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+func addr(b byte) types.Address {
+	var a types.Address
+	a[19] = b
+	return a
+}
+
+// TestJournalStrictIDs pins the strict snapshot discipline: reverting or
+// discarding an id that is not outstanding panics instead of being
+// silently ignored (the old deep-copy implementation ignored
+// out-of-range reverts and non-topmost discards).
+func TestJournalStrictIDs(t *testing.T) {
+	t.Run("revert unknown", func(t *testing.T) {
+		s := NewMemState()
+		assertPanics(t, func() { s.RevertToSnapshot(0) })
+	})
+	t.Run("revert twice", func(t *testing.T) {
+		s := NewMemState()
+		id := s.Snapshot()
+		s.RevertToSnapshot(id)
+		assertPanics(t, func() { s.RevertToSnapshot(id) })
+	})
+	t.Run("discard unknown", func(t *testing.T) {
+		s := NewMemState()
+		assertPanics(t, func() { s.DiscardSnapshot(7) })
+	})
+	t.Run("discard after revert", func(t *testing.T) {
+		s := NewMemState()
+		id := s.Snapshot()
+		s.RevertToSnapshot(id)
+		assertPanics(t, func() { s.DiscardSnapshot(id) })
+	})
+	t.Run("inner id dies with outer revert", func(t *testing.T) {
+		s := NewMemState()
+		outer := s.Snapshot()
+		inner := s.Snapshot()
+		s.RevertToSnapshot(outer)
+		assertPanics(t, func() { s.RevertToSnapshot(inner) })
+	})
+}
+
+// TestJournalNestedDiscard covers the leak the old implementation had:
+// DiscardSnapshot only freed the topmost entry, so discarding an inner
+// snapshot while an outer one was still live leaked it. Under the
+// journal any outstanding id can be discarded, in any order, and outer
+// snapshots stay revertible.
+func TestJournalNestedDiscard(t *testing.T) {
+	s := NewMemState()
+	a := addr(1)
+	s.AddBalance(a, uint256.NewInt(1))
+
+	outer := s.Snapshot()
+	s.AddBalance(a, uint256.NewInt(10))
+	inner := s.Snapshot()
+	s.AddBalance(a, uint256.NewInt(100))
+
+	// Discard the inner snapshot first (non-topmost order for the outer
+	// one), keeping its changes.
+	s.DiscardSnapshot(inner)
+	if got := s.Balance(a); got.Uint64() != 111 {
+		t.Fatalf("after inner discard: %s", got.Dec())
+	}
+	// The outer snapshot still reverts past the discarded inner one.
+	s.RevertToSnapshot(outer)
+	if got := s.Balance(a); got.Uint64() != 1 {
+		t.Fatalf("after outer revert: %s", got.Dec())
+	}
+}
+
+// TestJournalDiscardOutOfOrder discards an outer snapshot while an inner
+// one is still outstanding, then reverts the inner one.
+func TestJournalDiscardOutOfOrder(t *testing.T) {
+	s := NewMemState()
+	a := addr(2)
+	outer := s.Snapshot()
+	s.AddBalance(a, uint256.NewInt(10))
+	inner := s.Snapshot()
+	s.AddBalance(a, uint256.NewInt(100))
+
+	s.DiscardSnapshot(outer)
+	s.RevertToSnapshot(inner)
+	if got := s.Balance(a); got.Uint64() != 10 {
+		t.Fatalf("after inner revert: %s", got.Dec())
+	}
+}
+
+// TestJournalAccountLifecycle reverts account creation, self-destruct
+// and re-creation after self-destruct.
+func TestJournalAccountLifecycle(t *testing.T) {
+	s := NewMemState()
+	contract, heir := addr(3), addr(4)
+	s.AddBalance(contract, uint256.NewInt(50))
+	s.SetCode(contract, []byte{0x01})
+	s.SetState(contract, uint256.NewInt(1), uint256.NewInt(9))
+
+	snap := s.Snapshot()
+
+	// Self-destruct pays the heir and kills the account.
+	s.SelfDestruct(contract, heir)
+	if s.Exists(contract) || s.Balance(heir).Uint64() != 50 {
+		t.Fatal("self-destruct not applied")
+	}
+	// Re-create the account in the same transaction.
+	s.AddBalance(contract, uint256.NewInt(7))
+	if s.Balance(contract).Uint64() != 7 || len(s.Code(contract)) != 0 {
+		t.Fatal("re-created account not fresh")
+	}
+	// A brand-new account materializes too.
+	fresh := addr(5)
+	s.SetNonce(fresh, 3)
+
+	s.RevertToSnapshot(snap)
+
+	if got := s.Balance(contract); got.Uint64() != 50 {
+		t.Fatalf("contract balance after revert: %s", got.Dec())
+	}
+	if got := s.GetState(contract, uint256.NewInt(1)); got.Uint64() != 9 {
+		t.Fatalf("contract storage after revert: %s", got.Dec())
+	}
+	if len(s.Code(contract)) != 1 {
+		t.Fatal("contract code lost in revert")
+	}
+	if s.Balance(heir).Uint64() != 0 || s.Exists(heir) {
+		t.Fatal("heir credit survived revert")
+	}
+	if s.Exists(fresh) {
+		t.Fatal("fresh account survived revert")
+	}
+}
+
+// TestJournalStorageDeleteRestore reverts a zero-write (slot deletion)
+// back to the live value and a fresh write back to absence.
+func TestJournalStorageDeleteRestore(t *testing.T) {
+	s := NewMemState()
+	a := addr(6)
+	k1, k2 := uint256.NewInt(1), uint256.NewInt(2)
+	s.SetState(a, k1, uint256.NewInt(11))
+
+	snap := s.Snapshot()
+	s.SetState(a, k1, uint256.NewInt(0)) // delete live slot
+	s.SetState(a, k2, uint256.NewInt(22))
+	if s.StorageSlots(a) != 1 {
+		t.Fatalf("slots = %d", s.StorageSlots(a))
+	}
+	s.RevertToSnapshot(snap)
+	if got := s.GetState(a, k1); got.Uint64() != 11 {
+		t.Fatalf("deleted slot not restored: %s", got.Dec())
+	}
+	if got := s.GetState(a, k2); !got.IsZero() {
+		t.Fatalf("fresh slot survived revert: %s", got.Dec())
+	}
+	if s.StorageSlots(a) != 1 {
+		t.Fatalf("slots after revert = %d", s.StorageSlots(a))
+	}
+}
+
+// TestJournalFreeWhenQuiescent pins the memory discipline: once no
+// snapshot is outstanding the journal is dropped, so mutations made
+// outside any snapshot (block rewards, funding) never accumulate
+// reverting entries.
+func TestJournalFreeWhenQuiescent(t *testing.T) {
+	s := NewMemState()
+	a := addr(7)
+	for i := 0; i < 4; i++ {
+		id := s.Snapshot()
+		s.AddBalance(a, uint256.NewInt(1))
+		s.DiscardSnapshot(id)
+		if len(s.journal) != 0 {
+			t.Fatalf("journal not drained after discard: %d entries", len(s.journal))
+		}
+		s.AddBalance(a, uint256.NewInt(1)) // outside any snapshot
+		if len(s.journal) != 0 {
+			t.Fatal("journaled a mutation with no snapshot outstanding")
+		}
+	}
+	if got := s.Balance(a); got.Uint64() != 8 {
+		t.Fatalf("balance: %s", got.Dec())
+	}
+}
+
+// TestDirtyTracking covers the persistence delta hook.
+func TestDirtyTracking(t *testing.T) {
+	s := NewMemState()
+	a, b := addr(8), addr(9)
+	s.AddBalance(a, uint256.NewInt(1))
+	if got := s.TakeDirty(); got != nil {
+		t.Fatalf("dirty before enable: %v", got)
+	}
+
+	s.EnableDirtyTracking()
+	s.AddBalance(b, uint256.NewInt(1))
+	s.SetNonce(a, 2)
+	got := s.TakeDirty()
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("dirty = %v", got)
+	}
+	if s.TakeDirty() != nil {
+		t.Fatal("TakeDirty did not drain")
+	}
+
+	// Reverted mutations stay in the delta (persisting the reverted-to
+	// value is harmless; missing a mutated account is not).
+	id := s.Snapshot()
+	s.AddBalance(a, uint256.NewInt(5))
+	s.RevertToSnapshot(id)
+	got = s.TakeDirty()
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("dirty after revert = %v", got)
+	}
+}

@@ -2,6 +2,7 @@ package evm
 
 import (
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -66,9 +67,13 @@ type StateDB interface {
 	// Logs returns all recorded logs.
 	Logs() []Log
 
-	// Snapshot captures the current state; RevertToSnapshot rolls back.
+	// Snapshot captures the current state; RevertToSnapshot rolls back
+	// to it and DiscardSnapshot releases it while keeping all changes.
+	// Both are strict: passing an id that is not outstanding (never
+	// issued, already reverted or already discarded) panics.
 	Snapshot() int
 	RevertToSnapshot(id int)
+	DiscardSnapshot(id int)
 }
 
 // account is one account record inside MemState.
@@ -85,35 +90,32 @@ type account struct {
 	codeHashed bool
 }
 
-func (a *account) clone() *account {
-	c := &account{
-		balance:    a.balance,
-		nonce:      a.nonce,
-		code:       a.code, // code is immutable once set; share the slice
-		dead:       a.dead,
-		codeHash:   a.codeHash,
-		codeHashed: a.codeHashed,
-	}
-	if a.storage != nil {
-		c.storage = make(map[uint256.Int]uint256.Int, len(a.storage))
-		for k, v := range a.storage {
-			c.storage[k] = v
-		}
-	}
-	return c
-}
-
-// MemState is an in-memory StateDB with copy-on-snapshot semantics. It is
-// used both as the simulated main-chain state and as the on-device local
-// state holding the template copy and payment-channel contracts.
+// MemState is an in-memory StateDB with journaled snapshots: while a
+// snapshot is outstanding every mutation appends one reverting entry,
+// so RevertToSnapshot costs O(writes-since-snapshot) instead of the
+// deep-copy O(state) the previous implementation paid on every call
+// frame. It is used both as the simulated main-chain state and as the
+// on-device local state holding the template copy and payment-channel
+// contracts.
 //
 // MemState is not safe for concurrent use; the simulation is
 // single-threaded per chain/device, with any cross-device concurrency
 // handled above this layer.
 type MemState struct {
-	accounts  map[types.Address]*account
-	logs      []Log
-	snapshots []*memSnapshot
+	accounts map[types.Address]*account
+	logs     []Log
+
+	// journal holds one reverting entry per mutation made while a
+	// snapshot is outstanding; ledger maps snapshot ids to journal
+	// watermarks (see journal.go).
+	journal []journalEntry
+	ledger  SnapshotLedger
+
+	// dirty, when non-nil, accumulates every address whose account
+	// record was mutated since the last TakeDirty — the per-block state
+	// delta the persistence layer commits at seal time. Nil (the
+	// default) disables tracking entirely.
+	dirty map[types.Address]struct{}
 
 	// analysisMu guards analysis, the code-hash-keyed JUMPDEST bitmap
 	// cache. It is the one deliberately concurrency-safe piece of
@@ -129,11 +131,6 @@ type MemState struct {
 // code blob, far above any realistic contract population, but a hard
 // ceiling so a hostile workload cannot grow the cache without bound.
 const maxAnalysisEntries = 4096
-
-type memSnapshot struct {
-	accounts map[types.Address]*account
-	logCount int
-}
 
 var (
 	_ StateDB       = (*MemState)(nil)
@@ -153,19 +150,64 @@ func (s *MemState) acct(addr types.Address) *account {
 }
 
 func (s *MemState) acctOrCreate(addr types.Address) *account {
+	s.markDirty(addr)
 	if a, ok := s.accounts[addr]; ok {
 		if a.dead {
 			// Re-created after self-destruct in the same transaction:
 			// fresh account.
+			if s.journaling() {
+				s.journal = append(s.journal, journalEntry{kind: journalResurrect, addr: addr, prevAcct: a})
+			}
 			a = &account{}
 			s.accounts[addr] = a
 		}
 		return a
 	}
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{kind: journalCreate, addr: addr})
+	}
 	a := &account{}
 	s.accounts[addr] = a
 	return a
 }
+
+// markDirty records addr in the persistence delta when tracking is on.
+func (s *MemState) markDirty(addr types.Address) {
+	if s.dirty != nil {
+		s.dirty[addr] = struct{}{}
+	}
+}
+
+// EnableDirtyTracking starts accumulating the addresses of mutated
+// accounts; the persistence layer drains them with TakeDirty at block
+// seals. Tracking cannot be disabled once enabled.
+func (s *MemState) EnableDirtyTracking() {
+	if s.dirty == nil {
+		s.dirty = make(map[types.Address]struct{})
+	}
+}
+
+// TakeDirty drains and returns the addresses mutated since the last
+// call, in sorted order. It returns nil when tracking is disabled.
+func (s *MemState) TakeDirty() []types.Address {
+	if len(s.dirty) == 0 {
+		return nil
+	}
+	addrs := make([]types.Address, 0, len(s.dirty))
+	for addr := range s.dirty {
+		addrs = append(addrs, addr)
+	}
+	clear(s.dirty)
+	sort.Slice(addrs, func(i, j int) bool {
+		return string(addrs[i][:]) < string(addrs[j][:])
+	})
+	return addrs
+}
+
+// ClearDirty drops the pending delta without materializing it — the
+// cheap path for consumers that only need the set reset (replay
+// verification, which discards the delta anyway).
+func (s *MemState) ClearDirty() { clear(s.dirty) }
 
 // Exists implements StateDB.
 func (s *MemState) Exists(addr types.Address) bool {
@@ -190,6 +232,9 @@ func (s *MemState) Balance(addr types.Address) *uint256.Int {
 // AddBalance implements StateDB.
 func (s *MemState) AddBalance(addr types.Address, amount *uint256.Int) {
 	a := s.acctOrCreate(addr)
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{kind: journalBalance, addr: addr, prevWord: a.balance})
+	}
 	a.balance.Add(&a.balance, amount)
 }
 
@@ -198,6 +243,9 @@ func (s *MemState) AddBalance(addr types.Address, amount *uint256.Int) {
 // engine needs it to write back a speculative view's final balances.
 func (s *MemState) SetBalance(addr types.Address, amount *uint256.Int) {
 	a := s.acctOrCreate(addr)
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{kind: journalBalance, addr: addr, prevWord: a.balance})
+	}
 	a.balance.Set(amount)
 }
 
@@ -206,6 +254,9 @@ func (s *MemState) SubBalance(addr types.Address, amount *uint256.Int) error {
 	a := s.acctOrCreate(addr)
 	if a.balance.Lt(amount) {
 		return ErrInsufficientBalance
+	}
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{kind: journalBalance, addr: addr, prevWord: a.balance})
 	}
 	a.balance.Sub(&a.balance, amount)
 	return nil
@@ -221,7 +272,11 @@ func (s *MemState) Nonce(addr types.Address) uint64 {
 
 // SetNonce implements StateDB.
 func (s *MemState) SetNonce(addr types.Address, nonce uint64) {
-	s.acctOrCreate(addr).nonce = nonce
+	a := s.acctOrCreate(addr)
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{kind: journalNonce, addr: addr, prevNonce: a.nonce})
+	}
+	a.nonce = nonce
 }
 
 // Code implements StateDB.
@@ -239,6 +294,12 @@ func (s *MemState) SetCode(addr types.Address, code []byte) {
 	cp := make([]byte, len(code))
 	copy(cp, code)
 	a := s.acctOrCreate(addr)
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{
+			kind: journalCode, addr: addr,
+			prevCode: a.code, prevCodeHash: a.codeHash, prevCodeHashed: a.codeHashed,
+		})
+	}
 	a.code = cp
 	a.codeHash = types.HashData(cp)
 	a.codeHashed = true
@@ -307,6 +368,13 @@ func (s *MemState) GetState(addr types.Address, key *uint256.Int) uint256.Int {
 // StorageSlots counts only live entries.
 func (s *MemState) SetState(addr types.Address, key, val *uint256.Int) {
 	a := s.acctOrCreate(addr)
+	if s.journaling() {
+		prev, present := a.storage[*key]
+		s.journal = append(s.journal, journalEntry{
+			kind: journalStorage, addr: addr,
+			key: *key, prevWord: prev, prevPresent: present,
+		})
+	}
 	if val.IsZero() {
 		if a.storage != nil {
 			delete(a.storage, *key)
@@ -401,48 +469,57 @@ func (s *MemState) SelfDestruct(addr, beneficiary types.Address) {
 	if a == nil {
 		return
 	}
+	s.markDirty(addr)
 	if beneficiary != addr {
 		s.AddBalance(beneficiary, &a.balance)
+	}
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{kind: journalDestruct, addr: addr, prevWord: a.balance})
 	}
 	a.balance.Clear()
 	a.dead = true
 }
 
 // AddLog implements StateDB.
-func (s *MemState) AddLog(log Log) { s.logs = append(s.logs, log) }
+func (s *MemState) AddLog(log Log) {
+	if s.journaling() {
+		s.journal = append(s.journal, journalEntry{kind: journalLog})
+	}
+	s.logs = append(s.logs, log)
+}
 
 // Logs implements StateDB.
 func (s *MemState) Logs() []Log { return s.logs }
 
-// Snapshot implements StateDB with a deep copy, which is simple and
-// correct; simulation states are small.
+// Snapshot implements StateDB by recording the current journal
+// watermark; subsequent mutations journal reverting entries.
 func (s *MemState) Snapshot() int {
-	snap := &memSnapshot{
-		accounts: make(map[types.Address]*account, len(s.accounts)),
-		logCount: len(s.logs),
-	}
-	for addr, a := range s.accounts {
-		snap.accounts[addr] = a.clone()
-	}
-	s.snapshots = append(s.snapshots, snap)
-	return len(s.snapshots) - 1
+	return s.ledger.Snapshot(len(s.journal))
 }
 
-// RevertToSnapshot implements StateDB.
+// RevertToSnapshot implements StateDB: it undoes every journaled
+// mutation made since the snapshot was taken, newest first. The id must
+// be outstanding; reverting an unknown, already-reverted or discarded
+// id panics (a snapshot-discipline bug in the caller).
 func (s *MemState) RevertToSnapshot(id int) {
-	if id < 0 || id >= len(s.snapshots) {
-		return
+	watermark, ok := s.ledger.Revert(id)
+	if !ok {
+		panic(fmt.Sprintf("evm: RevertToSnapshot(%d): snapshot not outstanding", id))
 	}
-	snap := s.snapshots[id]
-	s.accounts = snap.accounts
-	s.logs = s.logs[:snap.logCount]
-	s.snapshots = s.snapshots[:id]
+	s.revertJournal(watermark)
 }
 
-// DiscardSnapshot drops a snapshot taken with Snapshot without reverting;
-// callers use it on the success path to keep the snapshot stack bounded.
+// DiscardSnapshot implements StateDB: it releases a snapshot taken with
+// Snapshot while keeping all changes. Any outstanding id may be
+// discarded, in any order — discarding an inner snapshot keeps outer
+// ones revertible (the journal is only trimmed once no snapshot
+// remains, so nested discards no longer leak). Discarding an id that is
+// not outstanding panics.
 func (s *MemState) DiscardSnapshot(id int) {
-	if id >= 0 && id == len(s.snapshots)-1 {
-		s.snapshots = s.snapshots[:id]
+	if !s.ledger.Discard(id) {
+		panic(fmt.Sprintf("evm: DiscardSnapshot(%d): snapshot not outstanding", id))
+	}
+	if !s.ledger.Outstanding() {
+		s.journal = s.journal[:0]
 	}
 }

@@ -1,0 +1,147 @@
+package evm
+
+import (
+	"testing"
+
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+// FuzzMemStateJournal drives the journaled MemState with random op
+// sequences interleaved with snapshot/revert/discard, and checks it
+// against a reference model with the old deep-copy semantics: the state
+// that survives a revert must be exactly the state produced by
+// replaying, from scratch, only the operations that were not reverted
+// (reverted ops dropped, discarded snapshots' ops kept). Digest() and
+// the log count must agree after every revert and at the end.
+//
+// Run as a regression test with `go test`, or explore with:
+//
+//	go test -run '^$' -fuzz FuzzMemStateJournal ./internal/evm
+func FuzzMemStateJournal(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 9, 0, 5, 10, 0})
+	f.Add([]byte{9, 6, 0, 9, 5, 5, 11, 10})
+	f.Add([]byte{4, 9, 4, 6, 9, 0, 10, 10, 7, 9, 7, 11})
+	f.Add([]byte{9, 9, 9, 0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 10, 10})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		newFuzzDriver(t).run(data)
+	})
+}
+
+// refOp is one recorded state mutation, replayable on a fresh MemState.
+type refOp struct {
+	kind    byte
+	addr    types.Address
+	other   types.Address
+	word1   uint256.Int
+	word2   uint256.Int
+	codeLen int
+}
+
+// apply replays the op. It must be the exact mutation the driver issued
+// against the journaled state.
+func (op *refOp) apply(s *MemState) {
+	switch op.kind {
+	case 0:
+		s.AddBalance(op.addr, &op.word1)
+	case 1:
+		_ = s.SubBalance(op.addr, &op.word1) // may fail; identically on both
+	case 2:
+		s.SetBalance(op.addr, &op.word1)
+	case 3:
+		s.SetNonce(op.addr, op.word1.Uint64())
+	case 4:
+		code := make([]byte, op.codeLen)
+		for i := range code {
+			code[i] = byte(op.codeLen + i)
+		}
+		s.SetCode(op.addr, code)
+	case 5:
+		s.SetState(op.addr, &op.word1, &op.word2)
+	case 6:
+		s.SelfDestruct(op.addr, op.other)
+	case 7:
+		s.AddLog(Log{Address: op.addr})
+	case 8:
+		s.CreateAccount(op.addr)
+	}
+}
+
+type fuzzDriver struct {
+	t *testing.T
+	s *MemState
+	// ops are the mutations that have not been reverted.
+	ops []refOp
+	// marks are the outstanding snapshots with their op watermarks.
+	marks []struct{ id, ops int }
+}
+
+func newFuzzDriver(t *testing.T) *fuzzDriver {
+	return &fuzzDriver{t: t, s: NewMemState()}
+}
+
+func (d *fuzzDriver) run(data []byte) {
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	for i < len(data) {
+		switch k := next() % 12; k {
+		case 9: // snapshot
+			id := d.s.Snapshot()
+			d.marks = append(d.marks, struct{ id, ops int }{id, len(d.ops)})
+		case 10: // revert to a random outstanding snapshot
+			if len(d.marks) == 0 {
+				continue
+			}
+			mi := int(next()) % len(d.marks)
+			m := d.marks[mi]
+			d.s.RevertToSnapshot(m.id)
+			d.ops = d.ops[:m.ops]
+			d.marks = d.marks[:mi]
+			d.check("after revert")
+		case 11: // discard a random outstanding snapshot (keep its ops)
+			if len(d.marks) == 0 {
+				continue
+			}
+			mi := int(next()) % len(d.marks)
+			d.s.DiscardSnapshot(d.marks[mi].id)
+			d.marks = append(d.marks[:mi], d.marks[mi+1:]...)
+		default:
+			op := refOp{kind: k}
+			op.addr = addr(next() % 6)
+			op.other = addr(next() % 6)
+			op.word1.SetUint64(uint64(next() % 8))
+			op.word2.SetUint64(uint64(next() % 4)) // zero deletes slots
+			op.codeLen = int(next()%4) + 1
+			op.apply(d.s)
+			d.ops = append(d.ops, op)
+		}
+	}
+	d.check("at end")
+}
+
+// check replays the surviving ops on a fresh state and compares it with
+// the journaled instance.
+func (d *fuzzDriver) check(when string) {
+	d.t.Helper()
+	ref := NewMemState()
+	for i := range d.ops {
+		d.ops[i].apply(ref)
+	}
+	if got, want := d.s.Digest(), ref.Digest(); got != want {
+		d.t.Fatalf("%s: journaled digest %s != replayed digest %s (ops=%d)",
+			when, got.Hex(), want.Hex(), len(d.ops))
+	}
+	if got, want := len(d.s.Logs()), len(ref.Logs()); got != want {
+		d.t.Fatalf("%s: journaled logs %d != replayed logs %d", when, got, want)
+	}
+}

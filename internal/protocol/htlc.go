@@ -268,14 +268,22 @@ type RouteHop struct {
 // propagates backward, claiming each hop. Intermediaries earn hopFee
 // each.
 func RoutePayment(route []RouteHop, receiver *Party, amount, hopFee uint64) (types.Hash, error) {
-	if len(route) < 1 {
-		return types.Hash{}, ErrRouteTooShort
-	}
-
-	secret, lock, err := NewSecret()
+	secret, _, err := NewSecret()
 	if err != nil {
 		return types.Hash{}, err
 	}
+	return RoutePaymentWithSecret(route, receiver, amount, hopFee, secret)
+}
+
+// RoutePaymentWithSecret is RoutePayment with a caller-chosen secret —
+// the deterministic entry point the durable service layer uses: the
+// secret is the route's only random input, so recording it in the
+// operation log makes the whole exchange replayable.
+func RoutePaymentWithSecret(route []RouteHop, receiver *Party, amount, hopFee uint64, secret Secret) (types.Hash, error) {
+	if len(route) < 1 {
+		return types.Hash{}, ErrRouteTooShort
+	}
+	lock := secret.Lock()
 
 	// Forward pass: lock conditional payments. The first sender carries
 	// every intermediary's fee.

@@ -214,14 +214,24 @@ func (p *Party) ChannelList() []*ChannelState {
 // SendSensorData reads the given sensors and transmits the readings to
 // the peer, hashing the payload on the crypto engine (SHA-256, 1 ms).
 func (p *Party) SendSensorData(peer types.Address, sensorIDs ...uint64) (*SensorData, error) {
-	data := &SensorData{From: p.Address()}
+	var readings []SensorReading
 	for _, id := range sensorIDs {
 		v, err := p.Dev.Sensors.Sense(id, 0)
 		if err != nil {
 			return nil, fmt.Errorf("protocol: reading sensor 0x%x: %w", id, err)
 		}
-		data.Readings = append(data.Readings, SensorReading{ID: id, Value: v})
+		readings = append(readings, SensorReading{ID: id, Value: v})
 	}
+	return p.SendSensorReadings(peer, readings)
+}
+
+// SendSensorReadings transmits pre-collected readings to the peer.
+// Sensor values are nondeterministic inputs, so the durable service
+// layer records them in its operation log and replays through this
+// entry point — reproducing the exact frames without touching the
+// sensor bus (whose Go handlers are not persisted).
+func (p *Party) SendSensorReadings(peer types.Address, readings []SensorReading) (*SensorData, error) {
+	data := &SensorData{From: p.Address(), Readings: readings}
 	payload := EncodeSensorData(data)
 	p.Dev.Crypto.SHA256(payload) // integrity digest, HW engine
 	if _, err := p.Radio.Send(peer, payload); err != nil {

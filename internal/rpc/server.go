@@ -181,8 +181,11 @@ func (s *Server) dispatch(ctx context.Context, method string, params json.RawMes
 		if err != nil {
 			return nil, toError(err)
 		}
-		sn.RegisterSensor(device.SensorTemperature,
-			func(uint64) (uint64, error) { return DefaultSensorValue, nil })
+		// Journaled registration: on a durable deployment the default
+		// sensor is replayed before the channel ops that read it.
+		if err := sn.RegisterSensorValue(ctx, device.SensorTemperature, DefaultSensorValue); err != nil {
+			return nil, toError(err)
+		}
 		return map[string]string{"name": sn.Name(), "address": sn.Address().Hex()}, nil
 
 	case "tinyevm_registerSensor":
@@ -198,8 +201,9 @@ func (s *Server) dispatch(ctx context.Context, method string, params json.RawMes
 		if rpcErr != nil {
 			return nil, rpcErr
 		}
-		v := in.Value
-		sn.RegisterSensor(in.ID, func(uint64) (uint64, error) { return v, nil })
+		if err := sn.RegisterSensorValue(ctx, in.ID, in.Value); err != nil {
+			return nil, toError(err)
+		}
 		return map[string]bool{"ok": true}, nil
 
 	case "tinyevm_openChannel":

@@ -2,6 +2,7 @@ package tinyevm
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"tinyevm/internal/core"
 	"tinyevm/internal/engine"
 	"tinyevm/internal/protocol"
+	"tinyevm/internal/store"
 	"tinyevm/internal/types"
 )
 
@@ -39,6 +41,8 @@ type serviceConfig struct {
 	core          core.Config
 	engineWorkers int
 	clock         func() time.Time
+	kv            store.KVStore
+	dataDir       string
 }
 
 // WithChallengePeriod sets the on-chain template's challenge window in
@@ -87,6 +91,27 @@ func WithConfig(cfg Config) Option {
 	return func(c *serviceConfig) { c.core = cfg }
 }
 
+// WithStore makes the deployment durable over the given key-value
+// store: sealed blocks and per-block state deltas are committed at
+// every seal, every state-changing operation is journaled, and
+// NewService recovers the previous deployment by replaying the journal
+// (see the package documentation in oplog.go for the replay contract).
+// The caller owns kv and closes it after the service.
+//
+// The store must be dedicated to one deployment (same provider name and
+// options); recovery fails, rather than forking history, when the
+// replayed chain diverges from the persisted blocks.
+func WithStore(kv store.KVStore) Option {
+	return func(c *serviceConfig) { c.kv = kv }
+}
+
+// WithDataDir is WithStore over a service-owned write-ahead log at
+// <dir>/tinyevm.wal (created as needed). The service closes it on
+// Close. WithStore, when also given, wins.
+func WithDataDir(dir string) Option {
+	return func(c *serviceConfig) { c.dataDir = dir }
+}
+
 // Service is the concurrency-safe façade over a TinyEVM deployment.
 // Every operation takes a context.Context and may be called from many
 // goroutines; the underlying simulation (devices, radio, chain) is
@@ -114,10 +139,24 @@ type Service struct {
 	// fraudSeen counts template fraud entries already reported per
 	// address, so each new entry emits exactly one dispute event.
 	fraudSeen map[Address]int
+
+	// ops is the operation-log store (nil without WithStore); opSeq is
+	// the next journal sequence number. ownedKV is closed by Close when
+	// the service opened the store itself (WithDataDir).
+	ops     store.KVStore
+	opSeq   uint64
+	ownedKV store.KVStore
 }
 
 // NewService creates a TinyEVM deployment whose provider node (the
 // payment receiver owning the on-chain template) has the given name.
+//
+// With WithStore or WithDataDir, NewService also RECOVERS: the journaled
+// operation log found in the store is replayed against the fresh
+// deployment, reconstructing nodes, channels, balances and sealed
+// blocks exactly as they were — every replayed block is verified
+// byte-for-byte against the persisted chain records, and a mismatch
+// fails construction instead of forking history.
 func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, error) {
 	cfg := serviceConfig{core: core.DefaultConfig(), clock: time.Now}
 	for _, o := range opts {
@@ -146,7 +185,41 @@ func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, er
 		s.broadcast(Event{Type: EventBlockSealed, Block: b.Number})
 	})
 	pn := s.adopt(provider)
+
+	kv := cfg.kv
+	if kv == nil && cfg.dataDir != "" {
+		if kv, err = openDataDir(cfg.dataDir); err != nil {
+			return nil, nil, err
+		}
+		s.ownedKV = kv
+	}
+	if kv != nil {
+		s.ops = kv
+		if err := s.checkMeta(serviceMeta{
+			Provider:        providerName,
+			ChallengePeriod: cfg.core.ChallengePeriod,
+			RadioSeed:       cfg.core.RadioSeed,
+			RadioLossRate:   cfg.core.RadioLossRate,
+		}); err != nil {
+			s.closeOwnedStore()
+			return nil, nil, err
+		}
+		if err := sys.Chain.AttachStore(store.Prefixed(kv, "chain/")); err != nil {
+			s.closeOwnedStore()
+			return nil, nil, err
+		}
+		if err := s.replayOps(); err != nil {
+			s.closeOwnedStore()
+			return nil, nil, err
+		}
+	}
 	return s, pn, nil
+}
+
+func (s *Service) closeOwnedStore() {
+	if s.ownedKV != nil {
+		s.ownedKV.Close()
+	}
 }
 
 func (s *Service) adopt(n *core.Node) *ServiceNode {
@@ -195,21 +268,18 @@ func (s *Service) Close() error {
 	for _, sub := range subs {
 		sub.cancel()
 	}
+	// Serialize against in-flight operations before releasing a store
+	// the service owns.
+	s.mu.Lock()
+	s.closeOwnedStore()
+	s.mu.Unlock()
 	return nil
 }
 
 // AddNode creates, funds and joins a new node.
 func (s *Service) AddNode(ctx context.Context, name string) (*ServiceNode, error) {
-	var sn *ServiceNode
-	err := s.do(ctx, func() error {
-		n, err := s.sys.AddNode(name)
-		if err != nil {
-			return err
-		}
-		sn = s.adopt(n)
-		return nil
-	})
-	return sn, err
+	res, err := s.run(ctx, &opRecord{Op: opAddNode, Name: name})
+	return res.node, err
 }
 
 // Node returns a registered node by name.
@@ -259,21 +329,14 @@ func (s *Service) HeadBlock(ctx context.Context) (uint64, error) {
 // MineBlock produces one block from any pending transactions, through
 // the parallel engine when WithEngineWorkers configured one.
 func (s *Service) MineBlock(ctx context.Context) error {
-	return s.do(ctx, func() error {
-		if s.eng != nil {
-			s.eng.MineBlock()
-		} else {
-			s.sys.Chain.MineBlock()
-		}
-		return nil
-	})
+	_, err := s.run(ctx, &opRecord{Op: opMineBlock})
+	return err
 }
 
 // RunChallengePeriod advances the chain past the active exit deadline.
 func (s *Service) RunChallengePeriod(ctx context.Context) error {
-	return s.do(ctx, func() error {
-		return s.sys.RunChallengePeriod()
-	})
+	_, err := s.run(ctx, &opRecord{Op: opRunChallenge})
+	return err
 }
 
 // FraudChannels returns the channel ids the template caught addr
@@ -345,55 +408,22 @@ type RouteStep struct {
 // completes before RoutePayment returns; each hop's payee sees
 // payment-received and each payer claim-settled on their streams.
 func (s *Service) RoutePayment(ctx context.Context, steps []RouteStep, receiver string, amount, hopFee uint64) (Hash, error) {
-	var lock Hash
-	err := s.do(ctx, func() error {
-		recv, ok := s.nodes[receiver]
-		if !ok {
-			return fmt.Errorf("%w: %q", ErrUnknownNode, receiver)
-		}
-		parties := make([]*ServiceNode, 0, len(steps)+1)
-		hops := make([]RouteHop, 0, len(steps))
-		for _, st := range steps {
-			sn, ok := s.nodes[st.Node]
-			if !ok {
-				return fmt.Errorf("%w: %q", ErrUnknownNode, st.Node)
-			}
-			parties = append(parties, sn)
-			hops = append(hops, RouteHop{From: sn.n.Party, ChannelID: st.Channel})
-		}
-		parties = append(parties, recv)
-
-		var err error
-		lock, err = protocol.RoutePayment(hops, recv.n.Party, amount, hopFee)
-		if err != nil {
-			s.dispatch()
-			return err
-		}
-		// The route consumed its wire messages lockstep internally, so
-		// publish the per-hop events the normal dispatch path would have.
-		for i, st := range steps {
-			payer, payee := parties[i], parties[i+1]
-			pcs, ok := payer.n.Channel(st.Channel)
-			if !ok {
-				continue
-			}
-			hopAmount := amount + uint64(len(steps)-1-i)*hopFee
-			if rcs, ok := payee.n.Party.ChannelByOpener(pcs.Template, pcs.WireID, pcs.Opener); ok {
-				s.emit(Event{
-					Type: EventPaymentReceived, Node: payee.n.Name(),
-					Channel: rcs.ID, Peer: rcs.Peer,
-					Seq: rcs.Seq, Amount: hopAmount, Payment: rcs.LastPayment,
-				})
-			}
-			s.emit(Event{
-				Type: EventClaimSettled, Node: payer.n.Name(),
-				Channel: pcs.ID, Peer: pcs.Peer,
-				Seq: pcs.Seq, Payment: pcs.LastPayment,
-			})
-		}
-		return firstErr(s.dispatch())
-	})
-	return lock, err
+	// The secret is the route's only nondeterministic input: draw it
+	// here and journal it inside the record so recovery replays the
+	// identical exchange.
+	secret, _, err := protocol.NewSecret()
+	if err != nil {
+		return Hash{}, err
+	}
+	rec := &opRecord{
+		Op: opRoutePayment, Receiver: receiver,
+		Amount: amount, Fee: hopFee, Secret: encodeSecret(secret),
+	}
+	for _, st := range steps {
+		rec.Steps = append(rec.Steps, opStep{Node: st.Node, Channel: st.Channel})
+	}
+	res, err := s.run(ctx, rec)
+	return res.lock, err
 }
 
 // --- event plumbing ----------------------------------------------------
@@ -699,74 +729,63 @@ func (sn *ServiceNode) Subscribe(ctx context.Context) <-chan Event {
 }
 
 // RegisterSensor installs a sensor/actuator handler on the node's bus.
+// Go handlers cannot be journaled: on a durable deployment, prefer
+// RegisterSensorValue (replayed on recovery) or re-register handlers
+// after NewService returns.
 func (sn *ServiceNode) RegisterSensor(id uint64, fn SensorFunc) {
 	sn.n.RegisterSensor(id, fn) // the bus is internally synchronized
+}
+
+// RegisterSensorValue installs a fixed-value sensor on the node's bus.
+// Unlike RegisterSensor, the registration is journaled, so recovery
+// restores it before replaying the channel operations whose contract
+// constructors read the sensor — this is the registration path the RPC
+// gateway uses.
+func (sn *ServiceNode) RegisterSensorValue(ctx context.Context, id, value uint64) error {
+	_, err := sn.svc.run(ctx, &opRecord{
+		Op: opRegisterSensor, Node: sn.n.Name(), SensorID: id, Value: value,
+	})
+	return err
 }
 
 // OpenChannel executes the local template to create an off-chain payment
 // channel funded with deposit and announces it to the peer, which
 // replicates it immediately (the peer's stream sees channel-opened).
 func (sn *ServiceNode) OpenChannel(ctx context.Context, peer Address, deposit, sensorParam uint64) (ChannelState, error) {
-	var out ChannelState
-	err := sn.svc.do(ctx, func() error {
-		cs, err := sn.n.OpenChannel(peer, deposit, sensorParam)
-		if err != nil {
-			return err
-		}
-		sn.svc.emit(Event{
-			Type: EventChannelOpened, Node: sn.n.Name(),
-			Channel: cs.ID, Peer: cs.Peer, Amount: cs.Deposit,
-		})
-		out = *cs
-		return deliveryErr(sn.svc.dispatch())
+	res, err := sn.svc.run(ctx, &opRecord{
+		Op: opOpenChannel, Node: sn.n.Name(), Peer: peer.Hex(),
+		Deposit: deposit, SensorParam: sensorParam,
 	})
-	return out, err
+	return res.channel, err
 }
 
 // Pay sends an off-chain payment over the channel. The counterparty
 // verifies and registers it before Pay returns; its stream sees
 // payment-received.
 func (sn *ServiceNode) Pay(ctx context.Context, channelID, amount uint64) (*Payment, error) {
-	var pay *Payment
-	err := sn.svc.do(ctx, func() error {
-		var err error
-		pay, err = sn.n.Pay(channelID, amount)
-		if err != nil {
-			return err
-		}
-		return deliveryErr(sn.svc.dispatch())
+	res, err := sn.svc.run(ctx, &opRecord{
+		Op: opPay, Node: sn.n.Name(), Channel: channelID, Amount: amount,
 	})
-	return pay, err
+	return res.pay, err
 }
 
 // PayConditional sends a hash-locked payment; the peer holds it pending
 // until Claim reveals the preimage.
 func (sn *ServiceNode) PayConditional(ctx context.Context, channelID, amount uint64, lock Hash) (*Payment, error) {
-	var pay *Payment
-	err := sn.svc.do(ctx, func() error {
-		var err error
-		pay, err = sn.n.PayConditional(channelID, amount, lock)
-		if err != nil {
-			return err
-		}
-		return deliveryErr(sn.svc.dispatch())
+	res, err := sn.svc.run(ctx, &opRecord{
+		Op: opPayConditional, Node: sn.n.Name(), Channel: channelID,
+		Amount: amount, Lock: lock.Hex(),
 	})
-	return pay, err
+	return res.pay, err
 }
 
 // Claim resolves a pending inbound conditional payment by revealing the
 // preimage; the payer finalizes it in the same call (claim-settled).
 func (sn *ServiceNode) Claim(ctx context.Context, channelID uint64, secret Secret) (*Payment, error) {
-	var pay *Payment
-	err := sn.svc.do(ctx, func() error {
-		var err error
-		pay, err = sn.n.ClaimConditional(channelID, secret)
-		if err != nil {
-			return err
-		}
-		return deliveryErr(sn.svc.dispatch())
+	res, err := sn.svc.run(ctx, &opRecord{
+		Op: opClaim, Node: sn.n.Name(), Channel: channelID, Secret: encodeSecret(secret),
 	})
-	return pay, err
+	return res.pay, err
 }
 
 // Close runs the full cooperative close handshake: the final state
@@ -774,31 +793,15 @@ func (sn *ServiceNode) Claim(ctx context.Context, channelID uint64, secret Secre
 // parties' streams see channel-closed. The returned state carries both
 // signatures.
 func (sn *ServiceNode) Close(ctx context.Context, channelID uint64) (*FinalState, error) {
-	var fs *FinalState
-	err := sn.svc.do(ctx, func() error {
-		if _, err := sn.n.CloseChannel(channelID); err != nil {
-			return err
-		}
-		errs := sn.svc.dispatch()
-		cs, ok := sn.n.Channel(channelID)
-		if !ok || cs.Final == nil {
-			if len(errs) > 0 {
-				return errs[0]
-			}
-			return ErrIncompleteClose
-		}
-		fs = cs.Final
-		return nil
-	})
-	return fs, err
+	res, err := sn.svc.run(ctx, &opRecord{Op: opClose, Node: sn.n.Name(), Channel: channelID})
+	return res.fs, err
 }
 
 // Reopen clears a countersigned checkpoint on this side so payments can
 // continue (both parties must reopen).
 func (sn *ServiceNode) Reopen(ctx context.Context, channelID uint64) error {
-	return sn.svc.do(ctx, func() error {
-		return sn.n.Reopen(channelID)
-	})
+	_, err := sn.svc.run(ctx, &opRecord{Op: opReopen, Node: sn.n.Name(), Channel: channelID})
+	return err
 }
 
 // Channel returns a snapshot of a channel's local state.
@@ -832,78 +835,76 @@ func (sn *ServiceNode) Channels(ctx context.Context) ([]ChannelState, error) {
 // SendSensorData reads the given sensors and pushes the readings to the
 // peer, whose stream sees sensor-data.
 func (sn *ServiceNode) SendSensorData(ctx context.Context, peer Address, sensorIDs ...uint64) (*SensorData, error) {
-	var data *SensorData
+	var res opResult
 	err := sn.svc.do(ctx, func() error {
-		var err error
-		data, err = sn.n.SendSensorData(peer, sensorIDs...)
-		if err != nil {
+		// Sensor values are nondeterministic inputs: read them first and
+		// journal the readings, so recovery replays the exact frames
+		// without needing the (non-persistable) Go handlers.
+		rec := &opRecord{Op: opSendSensorData, Node: sn.n.Name(), Peer: peer.Hex()}
+		for _, id := range sensorIDs {
+			v, err := sn.n.Dev.Sensors.Sense(id, 0)
+			if err != nil {
+				return fmt.Errorf("tinyevm: reading sensor 0x%x: %w", id, err)
+			}
+			rec.Readings = append(rec.Readings, opReading{ID: id, Value: v})
+		}
+		if err := sn.svc.logOp(rec); err != nil {
 			return err
 		}
-		return deliveryErr(sn.svc.dispatch())
+		var err error
+		res, err = sn.svc.applyLocked(rec)
+		if serr := sn.svc.sys.Chain.StoreErr(); serr != nil {
+			return fmt.Errorf("tinyevm: persistence failed: %w", serr)
+		}
+		return err
 	})
-	return data, err
+	return res.data, err
 }
 
 // Deposit locks funds into the on-chain template (phase 1).
 func (sn *ServiceNode) Deposit(ctx context.Context, amount uint64) (*Receipt, error) {
-	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
-		return sn.n.DepositOnChain(ts, amount)
-	})
+	res, err := sn.svc.run(ctx, &opRecord{Op: opDeposit, Node: sn.n.Name(), Amount: amount})
+	return res.receipt, err
 }
 
 // Commit submits a final state to the on-chain template (phase 3). A
 // commit superseding a counterparty's stale commit raises a dispute
 // event.
 func (sn *ServiceNode) Commit(ctx context.Context, fs *FinalState) (*Receipt, error) {
-	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
-		return sn.n.CommitOnChain(ts, fs)
+	res, err := sn.svc.run(ctx, &opRecord{
+		Op: opCommit, Node: sn.n.Name(), Final: encodeFinalState(fs),
 	})
+	return res.receipt, err
 }
 
 // Exit starts the on-chain exit / challenge period.
 func (sn *ServiceNode) Exit(ctx context.Context) (*Receipt, error) {
-	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
-		return sn.n.ExitOnChain(ts)
-	})
+	res, err := sn.svc.run(ctx, &opRecord{Op: opExit, Node: sn.n.Name()})
+	return res.receipt, err
 }
 
 // Settle dissolves the template after the challenge period and
 // distributes funds.
 func (sn *ServiceNode) Settle(ctx context.Context) (*Receipt, error) {
-	return sn.chainOp(ctx, func(ts protocol.TxSender) (*Receipt, error) {
-		return sn.n.SettleOnChain(ts)
-	})
-}
-
-func (sn *ServiceNode) chainOp(ctx context.Context, fn func(protocol.TxSender) (*Receipt, error)) (*Receipt, error) {
-	var r *Receipt
-	err := sn.svc.do(ctx, func() error {
-		var err error
-		r, err = fn(sn.svc.txSender())
-		sn.svc.checkDisputes()
-		return err
-	})
-	return r, err
+	res, err := sn.svc.run(ctx, &opRecord{Op: opSettle, Node: sn.n.Name()})
+	return res.receipt, err
 }
 
 // DeployContract deploys EVM init code on the node's TinyEVM.
 func (sn *ServiceNode) DeployContract(ctx context.Context, initCode []byte) (DeployResult, error) {
-	var res DeployResult
-	err := sn.svc.do(ctx, func() error {
-		res = sn.n.DeployContract(initCode)
-		return nil
+	res, err := sn.svc.run(ctx, &opRecord{
+		Op: opDeployContract, Node: sn.n.Name(), Data: hex.EncodeToString(initCode),
 	})
-	return res, err
+	return res.deploy, err
 }
 
 // CallContract executes a deployed contract on the node's TinyEVM.
 func (sn *ServiceNode) CallContract(ctx context.Context, addr Address, input []byte, value uint64) (CallResult, error) {
-	var res CallResult
-	err := sn.svc.do(ctx, func() error {
-		res = sn.n.CallContract(addr, input, value)
-		return nil
+	res, err := sn.svc.run(ctx, &opRecord{
+		Op: opCallContract, Node: sn.n.Name(), Addr: addr.Hex(),
+		Data: hex.EncodeToString(input), Value: value,
 	})
-	return res, err
+	return res.call, err
 }
 
 // EnergyReport returns the node's Table IV style energy report.
