@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e
+.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e load-smoke docs-check
 
 all: build lint test
 
@@ -45,3 +45,18 @@ recover-e2e:
 #   $(GO) run ./cmd/benchreport -write-baseline testdata/bench-baseline.json
 bench-gate:
 	$(GO) run ./cmd/benchreport -q -compare testdata/bench-baseline.json
+
+# Load-harness smoke — what the CI load-smoke job runs: spawn a
+# daemon, run every contention profile with client kills, wire chaos
+# and one SIGKILL+WAL-recovery cycle, plus the contract workload
+# suite. Exits non-zero on any error outside the taxonomy or a failed
+# recovery.
+load-smoke:
+	$(GO) run ./cmd/tinyevm-load -spawn -mode all -duration 3s \
+		-daemon-kills 1 -client-kill 0.1 -drop 0.02 -delay 0.1 \
+		-delay-max 5ms -retries 4 -wl-txs 256 -bench-out load-bench.txt
+	$(GO) run ./cmd/benchreport -parse load-bench.txt -out bench-load.json
+
+# Markdown link check over README and docs/ (offline: files + anchors).
+docs-check:
+	$(GO) run ./cmd/linkcheck README.md docs/ PAPER.md ROADMAP.md CHANGES.md

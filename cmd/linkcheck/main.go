@@ -1,0 +1,186 @@
+// Command linkcheck validates markdown cross-references offline: every
+// relative link in the given files (and every .md file under given
+// directories) must point at an existing file, and every fragment
+// (`file.md#section`, `#section`) must match a heading in the target,
+// using GitHub's anchor slug rules. External http(s)/mailto links are
+// not fetched — CI must not depend on the network — only checked for
+// empty targets.
+//
+//	go run ./cmd/linkcheck README.md docs/
+//
+// Exit status 1 lists every broken link with file:line.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline links [text](target); images share the syntax.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	broken := 0
+	for _, file := range files {
+		for _, b := range checkFile(file) {
+			fmt.Fprintln(os.Stderr, b)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken links in %d files\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d files clean\n", len(files))
+}
+
+func checkFile(file string) (broken []string) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatal("%v", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	inFence := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if msg := checkTarget(file, target); msg != "" {
+				broken = append(broken, fmt.Sprintf("%s:%d: %s", file, i+1, msg))
+			}
+		}
+	}
+	return broken
+}
+
+func checkTarget(fromFile, target string) string {
+	switch {
+	case target == "":
+		return "empty link target"
+	case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return "" // external; not fetched
+	}
+	path, frag, _ := strings.Cut(target, "#")
+	dest := fromFile
+	if path != "" {
+		dest = filepath.Join(filepath.Dir(fromFile), path)
+		info, err := os.Stat(dest)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, dest)
+		}
+		if info.IsDir() || frag == "" {
+			return ""
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(dest, ".md") {
+		return "" // fragments into non-markdown files are not checked
+	}
+	anchors, err := anchorsOf(dest)
+	if err != nil {
+		return err.Error()
+	}
+	if !anchors[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken anchor %q: no heading #%s in %s", target, frag, dest)
+	}
+	return ""
+}
+
+// anchorsOf returns the GitHub anchor slugs of every heading in a
+// markdown file (duplicate slugs get -1, -2, ... suffixes).
+func anchorsOf(file string) (map[string]bool, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, fmt.Errorf("reading link target: %w", err)
+	}
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n, dup := seen[slug]; dup {
+			seen[slug] = n + 1
+			slug = fmt.Sprintf("%s-%d", slug, n)
+		} else {
+			seen[slug] = 1
+		}
+		anchors[slug] = true
+	}
+	return anchors, nil
+}
+
+// slugify applies GitHub's heading-to-anchor rules: strip markdown
+// emphasis/code/link syntax, lowercase, drop punctuation, spaces to
+// hyphens.
+func slugify(heading string) string {
+	// Inline links keep only their text.
+	heading = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).ReplaceAllString(heading, "$1")
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteRune('-')
+		case r == '_':
+			b.WriteRune('_')
+			// Everything else (backticks, punctuation, slashes) drops.
+		}
+	}
+	return b.String()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "linkcheck: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 )
 
 // Client is a Go client for the TinyEVM JSON-RPC gateway. It is safe
@@ -15,26 +17,99 @@ import (
 // the protocol sentinels, so errors.Is(err, protocol.ErrStaleSequence)
 // works on the client side of the wire.
 type Client struct {
-	url    string
-	hc     *http.Client
-	nextID atomic.Uint64
+	url     string
+	hc      *http.Client
+	nextID  atomic.Uint64
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRequestTimeout bounds every individual RPC attempt: each HTTP
+// round trip runs under a context deadline of d (0 disables, the
+// default). Long-poll methods (tinyevm_poll) should use a timeout
+// comfortably above their server-side timeoutMs.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry makes Call retry transport-level failures (connection
+// refused/reset, per-attempt timeout) up to max extra attempts, backing
+// off linearly from backoff (attempt n sleeps n*backoff). Typed gateway
+// errors — a *Error reply, including protocol-sentinel kinds — are
+// never retried: the request reached the service and was answered.
+//
+// Note that retried requests are re-executed, not replayed: a payment
+// whose response was lost in transit may be applied twice. Load
+// generators accept that; accounting clients should retry at a higher
+// level where the channel state can be inspected first.
+func WithRetry(max int, backoff time.Duration) ClientOption {
+	return func(c *Client) { c.retries, c.backoff = max, backoff }
 }
 
 // NewClient creates a client for the gateway at url (e.g.
 // "http://127.0.0.1:8545"). httpClient nil uses http.DefaultClient.
-func NewClient(url string, httpClient *http.Client) *Client {
+func NewClient(url string, httpClient *http.Client, opts ...ClientOption) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{url: url, hc: httpClient}
+	c := &Client{url: url, hc: httpClient}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // Call performs one JSON-RPC call, decoding the result into out (out
-// nil discards it).
+// nil discards it). Transport failures are retried per WithRetry;
+// gateway-level errors are returned immediately.
 func (c *Client) Call(ctx context.Context, method string, params, out any) error {
 	rawParams, err := json.Marshal(params)
 	if err != nil {
 		return fmt.Errorf("rpc: encoding params: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.call(ctx, method, rawParams, out)
+		if lastErr == nil || !retryable(lastErr) || attempt >= c.retries {
+			return lastErr
+		}
+		if c.backoff > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt+1) * c.backoff):
+			}
+		} else if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+// retryable reports whether err is a transport-level failure. Gateway
+// replies (*Error, typed or not) and caller-context cancellation are
+// final.
+func retryable(err error) bool {
+	var rpcErr *Error
+	if errors.As(err, &rpcErr) {
+		return false
+	}
+	// Typed kinds rebuilt onto sentinels are gateway replies too.
+	if kind := KindOf(err); kind != "" && kind != "canceled" && kind != "deadline-exceeded" {
+		return false
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// call is one attempt.
+func (c *Client) call(ctx context.Context, method string, rawParams json.RawMessage, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
 	}
 	id := c.nextID.Add(1)
 	body, err := json.Marshal(request{

@@ -1,0 +1,152 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tinyevm"
+	"tinyevm/internal/protocol"
+)
+
+// flakyHandler fails the first n requests at the transport level (by
+// hijacking and closing the connection) and then answers normally.
+type flakyHandler struct {
+	fails int32
+	inner http.Handler
+	hits  atomic.Int32
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.hits.Add(1) <= f.fails {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server does not support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic(err)
+		}
+		conn.Close() // connection reset mid-request
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func newFlakyGateway(t *testing.T, failFirst int32) (*flakyHandler, string) {
+	t.Helper()
+	svc, _, err := tinyevm.NewService("prov")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	h := &flakyHandler{fails: failFirst, inner: NewServer(svc)}
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return h, srv.URL
+}
+
+func TestClientRetryRecoversTransportFailure(t *testing.T) {
+	h, url := newFlakyGateway(t, 2)
+	client := NewClient(url, nil, WithRetry(3, time.Millisecond))
+	if _, err := client.Head(context.Background()); err != nil {
+		t.Fatalf("Head with retries: %v", err)
+	}
+	if got := h.hits.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (2 failures + 1 success)", got)
+	}
+}
+
+func TestClientNoRetryByDefault(t *testing.T) {
+	h, url := newFlakyGateway(t, 1)
+	client := NewClient(url, nil)
+	if _, err := client.Head(context.Background()); err == nil {
+		t.Fatal("expected transport error without retries")
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1", got)
+	}
+}
+
+func TestClientDoesNotRetryTypedErrors(t *testing.T) {
+	h, url := newFlakyGateway(t, 0)
+	client := NewClient(url, nil, WithRetry(5, time.Millisecond))
+	// Paying on a channel that does not exist yields a typed protocol
+	// error; it must come back after exactly one attempt.
+	_, err := client.Pay(context.Background(), "prov", 999, 1)
+	if err == nil {
+		t.Fatal("expected unknown-channel error")
+	}
+	if !errors.Is(err, protocol.ErrUnknownChannel) && !errors.Is(err, tinyevm.ErrUnknownNode) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if got := h.hits.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (typed errors are final)", got)
+	}
+}
+
+// slowServer answers every request with an empty 200 after d. The
+// bounded sleep (rather than blocking on the request context) keeps
+// srv.Close from waiting on stuck handlers.
+func slowServer(t *testing.T, d time.Duration) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(d)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientRequestTimeout(t *testing.T) {
+	// A handler far slower than the timeout; the per-attempt deadline
+	// must fire.
+	srv := slowServer(t, time.Second)
+	client := NewClient(srv.URL, nil, WithRequestTimeout(50*time.Millisecond))
+	start := time.Now()
+	_, err := client.Head(context.Background())
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout did not bound the attempt: %v", elapsed)
+	}
+}
+
+func TestClientRetryRespectsContextCancel(t *testing.T) {
+	srv := slowServer(t, time.Second)
+	client := NewClient(srv.URL, nil,
+		WithRequestTimeout(20*time.Millisecond), WithRetry(1000, 10*time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.Head(ctx)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored context cancellation: %v", elapsed)
+	}
+}
+
+func TestKindOfTaxonomy(t *testing.T) {
+	cases := []struct {
+		err  error
+		kind string
+	}{
+		{protocol.ErrStaleSequence, "stale-sequence"},
+		{protocol.ErrUnknownChannel, "unknown-channel"},
+		{tinyevm.ErrUnknownNode, "unknown-node"},
+		{context.Canceled, "canceled"},
+		{context.DeadlineExceeded, "deadline-exceeded"},
+		{errors.New("anonymous"), ""},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.err); got != c.kind {
+			t.Errorf("KindOf(%v) = %q, want %q", c.err, got, c.kind)
+		}
+	}
+}

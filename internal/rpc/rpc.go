@@ -103,8 +103,11 @@ var errorKinds = []struct {
 	{context.DeadlineExceeded, "deadline-exceeded"},
 }
 
-// kindOf returns the wire kind of err ("" when untyped).
-func kindOf(err error) string {
+// KindOf returns the wire kind of err ("" when untyped). It is the
+// error taxonomy shared by the gateway, the Go client and the load
+// harness: protocol sentinels, service errors and context errors map
+// to stable kebab-case kinds.
+func KindOf(err error) string {
 	for _, ek := range errorKinds {
 		if errors.Is(err, ek.err) {
 			return ek.kind
@@ -127,7 +130,7 @@ func sentinelOf(kind string) error {
 // toError converts a service error to the wire error object.
 func toError(err error) *Error {
 	e := &Error{Code: codeServer, Message: err.Error()}
-	data := ErrorData{Kind: kindOf(err)}
+	data := ErrorData{Kind: KindOf(err)}
 	var cerr *protocol.ChannelError
 	if errors.As(err, &cerr) {
 		data.Channel = cerr.Channel
@@ -235,7 +238,7 @@ func toEvent(e tinyevm.Event) Event {
 	}
 	if e.Err != nil {
 		out.Error = e.Err.Error()
-		out.ErrorKind = kindOf(e.Err)
+		out.ErrorKind = KindOf(e.Err)
 	}
 	return out
 }

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// LatencyHist is a log-bucketed histogram for non-negative samples
+// (primary use: operation latencies in nanoseconds). Recording is O(1)
+// and constant-memory; two histograms recorded independently merge
+// losslessly (bucket counts add), which is how the load harness shards
+// recording across workers without a shared lock. Quantile estimates
+// carry a bounded relative error given by the bucket growth factor
+// (~2.5% at the default growth of 1.05, since estimates use the bucket
+// midpoint).
+//
+// The zero value is ready to use. LatencyHist is not safe for
+// concurrent use; shard per goroutine and Merge.
+type LatencyHist struct {
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// histGrowth is the per-bucket growth factor: bucket i covers
+// [histGrowth^i, histGrowth^(i+1)). Values below 1 land in bucket 0.
+const histGrowth = 1.05
+
+var logHistGrowth = math.Log(histGrowth)
+
+// bucketOf returns the bucket index of v.
+func bucketOf(v float64) int {
+	if v <= 1 {
+		return 0
+	}
+	return int(math.Log(v) / logHistGrowth)
+}
+
+// bucketValue returns the representative (geometric-midpoint) value of
+// bucket i.
+func bucketValue(i int) float64 {
+	if i == 0 {
+		return 1
+	}
+	lo := math.Pow(histGrowth, float64(i))
+	return lo * math.Sqrt(histGrowth)
+}
+
+// Observe records one sample. Negative and NaN samples are recorded as
+// zero (they land in bucket 0 but keep Min honest at 0).
+func (h *LatencyHist) Observe(v float64) {
+	if math.IsNaN(v) || v < 0 {
+		v = 0
+	}
+	i := bucketOf(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// ObserveDuration records a duration as nanoseconds.
+func (h *LatencyHist) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Nanoseconds()))
+}
+
+// Merge folds other into h. Merging is exact: the result is identical
+// to having recorded both histograms' samples into one.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() uint64 { return h.count }
+
+// Sum returns the sum of recorded samples.
+func (h *LatencyHist) Sum() float64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *LatencyHist) Min() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LatencyHist) Max() float64 { return h.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *LatencyHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the p-th percentile (p in 0..100) as the
+// representative value of the bucket holding that rank, clamped to the
+// observed [Min, Max] so degenerate distributions report exactly.
+func (h *LatencyHist) Quantile(p float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min()
+	}
+	if p >= 100 {
+		return h.max
+	}
+	// Nearest-rank on the cumulative bucket counts.
+	rank := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := bucketValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// QuantilesMS returns the p50/p95/p99 latency quantiles in
+// milliseconds, assuming samples were recorded in nanoseconds (the
+// ObserveDuration convention).
+func (h *LatencyHist) QuantilesMS() (p50, p95, p99 float64) {
+	const msPerNs = 1e-6
+	return h.Quantile(50) * msPerNs, h.Quantile(95) * msPerNs, h.Quantile(99) * msPerNs
+}
+
+// String renders a one-line summary (ns-recorded convention).
+func (h *LatencyHist) String() string {
+	p50, p95, p99 := h.QuantilesMS()
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		h.count, h.Mean()*1e-6, p50, p95, p99, h.max*1e-6)
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// relErr is the maximum relative quantile error the log-bucketed
+// histogram may introduce: one bucket width plus midpoint rounding.
+const relErr = 0.06
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.Count() != 0 || h.Quantile(50) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", h)
+	}
+}
+
+func TestLatencyHistSingleValue(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 100; i++ {
+		h.Observe(5000)
+	}
+	// A degenerate distribution must report exactly: quantiles clamp to
+	// [min, max] = [5000, 5000].
+	for _, p := range []float64{0, 1, 50, 95, 99, 100} {
+		if got := h.Quantile(p); got != 5000 {
+			t.Fatalf("Quantile(%v) = %v, want 5000", p, got)
+		}
+	}
+	if h.Mean() != 5000 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+// TestLatencyHistUniform checks quantiles of a known uniform
+// distribution against the exact sorted-sample answer.
+func TestLatencyHistUniform(t *testing.T) {
+	var h LatencyHist
+	var xs []float64
+	for i := 1; i <= 10000; i++ {
+		v := float64(i) * 100 // 100..1e6
+		h.Observe(v)
+		xs = append(xs, v)
+	}
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9} {
+		exact := Percentile(xs, p)
+		got := h.Quantile(p)
+		if math.Abs(got-exact)/exact > relErr {
+			t.Errorf("uniform Quantile(%v) = %v, exact %v (rel err %.3f)",
+				p, got, exact, math.Abs(got-exact)/exact)
+		}
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-500050)/500050 > 1e-9 {
+		t.Fatalf("Mean = %v, want 500050", h.Mean())
+	}
+	if h.Min() != 100 || h.Max() != 1e6 {
+		t.Fatalf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+// TestLatencyHistLogNormal checks a heavy-tailed distribution — the
+// shape real latency data takes — against exact percentiles.
+func TestLatencyHistLogNormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h LatencyHist
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.5 + 12) // median ~e^12 ns ≈ 163µs
+		h.Observe(v)
+		xs = append(xs, v)
+	}
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		exact := Percentile(xs, p)
+		got := h.Quantile(p)
+		if math.Abs(got-exact)/exact > relErr {
+			t.Errorf("lognormal Quantile(%v) = %v, exact %v (rel err %.3f)",
+				p, got, exact, math.Abs(got-exact)/exact)
+		}
+	}
+}
+
+// TestLatencyHistMergeExact verifies the merge contract: merging two
+// histograms is byte-identical to recording every sample into one.
+func TestLatencyHistMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var combined, a, b LatencyHist
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(rng.NormFloat64() + 10)
+		combined.Observe(v)
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	var merged LatencyHist
+	merged.Merge(&a)
+	merged.Merge(&b)
+
+	if merged.Count() != combined.Count() {
+		t.Fatalf("Count: merged %d, combined %d", merged.Count(), combined.Count())
+	}
+	if merged.Sum() != combined.Sum() {
+		// Summation order differs, allow float tolerance.
+		if math.Abs(merged.Sum()-combined.Sum())/combined.Sum() > 1e-9 {
+			t.Fatalf("Sum: merged %v, combined %v", merged.Sum(), combined.Sum())
+		}
+	}
+	if merged.Min() != combined.Min() || merged.Max() != combined.Max() {
+		t.Fatalf("Min/Max: merged %v/%v, combined %v/%v",
+			merged.Min(), merged.Max(), combined.Min(), combined.Max())
+	}
+	// Bucket counts must be identical, so every quantile is identical.
+	for _, p := range []float64{0, 1, 25, 50, 75, 95, 99, 100} {
+		if merged.Quantile(p) != combined.Quantile(p) {
+			t.Fatalf("Quantile(%v): merged %v, combined %v", p, merged.Quantile(p), combined.Quantile(p))
+		}
+	}
+}
+
+func TestLatencyHistMergeEmptyAndNil(t *testing.T) {
+	var h LatencyHist
+	h.Observe(100)
+	h.Merge(nil)
+	var empty LatencyHist
+	h.Merge(&empty)
+	if h.Count() != 1 || h.Min() != 100 {
+		t.Fatalf("merge with nil/empty disturbed state: %+v", h)
+	}
+	// Merging into an empty histogram adopts min/max.
+	var h2 LatencyHist
+	h2.Merge(&h)
+	if h2.Count() != 1 || h2.Min() != 100 || h2.Max() != 100 {
+		t.Fatalf("merge into empty: %+v", h2)
+	}
+}
+
+func TestLatencyHistObserveDuration(t *testing.T) {
+	var h LatencyHist
+	h.ObserveDuration(2 * time.Millisecond)
+	p50, _, _ := h.QuantilesMS()
+	if math.Abs(p50-2) > 2*relErr {
+		t.Fatalf("p50 = %v ms, want ~2", p50)
+	}
+}
+
+func TestLatencyHistNegativeAndNaN(t *testing.T) {
+	var h LatencyHist
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(10)
+	if h.Count() != 3 || h.Min() != 0 || h.Max() != 10 {
+		t.Fatalf("negative/NaN handling: %+v", h)
+	}
+}
+
+// TestPercentileExact pins the exact interpolated percentile on a known
+// small sample (satellite: exact quantiles on known distributions).
+func TestPercentileExact(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {25, 20}, {50, 30}, {75, 40}, {100, 50},
+		{10, 14}, {90, 46}, // interpolated ranks
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
