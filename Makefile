@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e load-smoke docs-check
+.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e load-smoke cluster-smoke docs-check
 
 all: build lint test
 
@@ -31,7 +31,7 @@ bench-smoke:
 
 # Machine-readable benchmark report (BENCH_<n>.json schema).
 bench-report:
-	$(GO) run ./cmd/benchreport -q -out BENCH_4.json
+	$(GO) run ./cmd/benchreport -q -out BENCH_7.json
 
 # Crash-recovery end-to-end: SIGKILL a real tinyevm-serve -data-dir
 # daemon mid-workload, restart it, and assert the recovered head block,
@@ -56,6 +56,15 @@ load-smoke:
 		-daemon-kills 1 -client-kill 0.1 -drop 0.02 -delay 0.1 \
 		-delay-max 5ms -retries 4 -wl-txs 256 -bench-out load-bench.txt
 	$(GO) run ./cmd/benchreport -parse load-bench.txt -out bench-load.json
+
+# Cluster smoke — what the CI cluster-smoke job runs: three real
+# tinyevm-serve daemons form one sidechain over TCP, payments flow
+# through all of them, one daemon is SIGKILLed mid-run and restarted
+# with no data dir, and every daemon must converge on byte-identical
+# block hashes (the victim via pure p2p state sync).
+cluster-smoke:
+	$(GO) test -race -v -run TestClusterSmokeE2E . > cluster-smoke.txt 2>&1 || { cat cluster-smoke.txt; exit 1; }
+	cat cluster-smoke.txt
 
 # Markdown link check over README and docs/ (offline: files + anchors).
 docs-check:

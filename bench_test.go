@@ -15,17 +15,23 @@ package tinyevm_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
 	"tinyevm"
 	"tinyevm/internal/chain"
+	"tinyevm/internal/cluster"
+	"tinyevm/internal/consensus"
 	"tinyevm/internal/corpus"
 	"tinyevm/internal/device"
 	"tinyevm/internal/engine"
 	"tinyevm/internal/eval"
 	"tinyevm/internal/evm"
+	"tinyevm/internal/p2p"
 	"tinyevm/internal/protocol"
+	"tinyevm/internal/secp256k1"
+	"tinyevm/internal/types"
 	"tinyevm/internal/uint256"
 )
 
@@ -408,4 +414,86 @@ func diff(a, b int) int {
 		return a - b
 	}
 	return b - a
+}
+
+// BenchmarkClusterGossipThroughput measures sidechain replication over
+// the in-process transport: a single validator seals blocks of signed
+// transfers and two follower replicas verify-and-apply every block off
+// the gossip stream. One iteration is one transaction landed on ALL
+// replicas; tx/s is the end-to-end replication rate.
+func BenchmarkClusterGossipThroughput(b *testing.B) {
+	const txPerBlock = 64
+	net := p2p.NewMemNetwork()
+	val := secp256k1.DeterministicKey("bench-cluster-val")
+	sender := secp256k1.DeterministicKey("bench-cluster-sender")
+	mk := func(i int, key *secp256k1.PrivateKey, peers []string) *cluster.Node {
+		eng, err := consensus.NewRoundRobin([]types.Address{val.Address()}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := chain.New()
+		c.Fund(sender.Address(), 1<<62)
+		n, err := cluster.New(cluster.Config{
+			Chain:         c,
+			Engine:        eng,
+			Key:           key,
+			Transport:     net,
+			Listen:        fmt.Sprintf("bench-cluster-%d", i),
+			Peers:         peers,
+			StrictDigests: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { n.Close() })
+		return n
+	}
+	leader := mk(0, val, nil)
+	followers := []*cluster.Node{
+		mk(1, secp256k1.DeterministicKey("bench-cluster-f1"), []string{"bench-cluster-0"}),
+		mk(2, secp256k1.DeterministicKey("bench-cluster-f2"), []string{"bench-cluster-0"}),
+	}
+	waitHeight := func(h uint64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for _, f := range followers {
+			for f.Status().Height < h {
+				if time.Now().After(deadline) {
+					b.Fatalf("follower stuck at %d, want %d", f.Status().Height, h)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+	to := types.Address{0xbe, 0xef}
+
+	b.ResetTimer()
+	nonce := uint64(0)
+	for done := 0; done < b.N; {
+		batch := txPerBlock
+		if rem := b.N - done; rem < batch {
+			batch = rem
+		}
+		for i := 0; i < batch; i++ {
+			tx := chain.NewTx(nonce, &to, 1, nil)
+			if err := tx.Sign(sender); err != nil {
+				b.Fatal(err)
+			}
+			if err := leader.SubmitTx(tx); err != nil {
+				b.Fatal(err)
+			}
+			nonce++
+		}
+		if _, err := leader.ProduceBlock(); err != nil {
+			b.Fatal(err)
+		}
+		done += batch
+	}
+	head := leader.Status().Height
+	waitHeight(head)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tx/s")
+	b.ReportMetric(float64(head), "blocks")
 }

@@ -1,0 +1,246 @@
+package tinyevm_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tinyevm"
+	"tinyevm/internal/p2p"
+)
+
+// startServiceCluster builds n services joined into one sidechain over
+// an in-process network. Heartbeat mining is configured by interval
+// (0 = drive MineBlock explicitly) and fallback.
+func startServiceCluster(t *testing.T, n int, interval, fallback time.Duration) []*tinyevm.Service {
+	t.Helper()
+	net := p2p.NewMemNetwork()
+	validators := make([]string, n)
+	for i := range validators {
+		validators[i] = fmt.Sprintf("svc-cluster-node-%d", i)
+	}
+	services := make([]*tinyevm.Service, n)
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, fmt.Sprintf("daemon-%d", j))
+			}
+		}
+		svc, _, err := tinyevm.NewService("city", tinyevm.WithCluster(tinyevm.ClusterConfig{
+			Listen:        fmt.Sprintf("daemon-%d", i),
+			Peers:         peers,
+			NodeKey:       validators[i],
+			Validators:    validators,
+			BlockInterval: interval,
+			FallbackAfter: fallback,
+			Transport:     net,
+			Logf:          t.Logf,
+		}))
+		if err != nil {
+			t.Fatalf("service %d: %v", i, err)
+		}
+		t.Cleanup(func() { svc.Close() })
+		services[i] = svc
+	}
+	ctx := context.Background()
+	for i, svc := range services {
+		svc := svc
+		waitForCond(t, fmt.Sprintf("service %d out of sync state", i), func() bool {
+			st, err := svc.NodeStatus(ctx)
+			return err == nil && st.Role != "syncing" && st.Peers >= n-1
+		})
+	}
+	return services
+}
+
+func waitForCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// leaderIndex finds the service whose validator is scheduled next.
+func leaderIndex(t *testing.T, services []*tinyevm.Service) int {
+	t.Helper()
+	ctx := context.Background()
+	for i, svc := range services {
+		st, err := svc.NodeStatus(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Role == "leader" {
+			return i
+		}
+	}
+	t.Fatal("no leader in cluster")
+	return -1
+}
+
+// assertServiceHeads waits for every service to reach height h and
+// requires identical block hashes at that height.
+func assertServiceHeads(t *testing.T, services []*tinyevm.Service, h uint64) {
+	t.Helper()
+	ctx := context.Background()
+	for i, svc := range services {
+		svc := svc
+		waitForCond(t, fmt.Sprintf("service %d at height %d", i, h), func() bool {
+			st, err := svc.NodeStatus(ctx)
+			return err == nil && st.Height >= h
+		})
+	}
+	ref, err := services[0].BlockHash(ctx, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(services); i++ {
+		got, err := services[i].BlockHash(ctx, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("service %d block %d hash %s, service 0 has %s", i, h, got, ref)
+		}
+	}
+}
+
+// TestServiceClusterLeaderGate drives explicit block production through
+// the Service API: followers are rejected with ErrNotLeader, the leader
+// seals, and every daemon converges on identical block hashes.
+func TestServiceClusterLeaderGate(t *testing.T) {
+	services := startServiceCluster(t, 3, 0, 0)
+	ctx := context.Background()
+
+	for h := uint64(1); h <= 4; h++ {
+		li := leaderIndex(t, services)
+		follower := services[(li+1)%3]
+		if err := follower.MineBlock(ctx); !errors.Is(err, tinyevm.ErrNotLeader) {
+			t.Fatalf("follower MineBlock at height %d: %v", h, err)
+		}
+		if err := services[li].MineBlock(ctx); err != nil {
+			t.Fatalf("leader MineBlock at height %d: %v", h, err)
+		}
+		assertServiceHeads(t, services, h)
+	}
+
+	// RunChallengePeriod is a schedule-violating burst; typed rejection.
+	li := leaderIndex(t, services)
+	if err := services[li].RunChallengePeriod(ctx); !errors.Is(err, tinyevm.ErrClusterOp) {
+		t.Fatalf("RunChallengePeriod in cluster mode: %v", err)
+	}
+}
+
+// TestServiceClusterOnChainOpsFollowLeader runs a full payment-channel
+// lifecycle against the leader daemon and requires a follower to reject
+// the on-chain step with the typed redirect error.
+func TestServiceClusterOnChainOpsFollowLeader(t *testing.T) {
+	services := startServiceCluster(t, 3, 0, 0)
+	ctx := context.Background()
+
+	li := leaderIndex(t, services)
+	leader := services[li]
+
+	// Off-chain traffic is daemon-local and needs no leadership. The
+	// channel contract samples a sensor on creation, so both parties
+	// need one registered.
+	veh, err := leader.AddNode(ctx, "veh-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Provider().RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+		t.Fatal(err)
+	}
+	if err := veh.RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := veh.OpenChannel(ctx, leader.Provider().Address(), 10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := veh.Pay(ctx, ch.ID, 250); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := veh.Close(ctx, ch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-chain commit succeeds on the leader...
+	if _, err := leader.Provider().Commit(ctx, fs); err != nil {
+		t.Fatalf("commit on leader: %v", err)
+	}
+
+	// ...and its block replicates everywhere.
+	st, err := leader.NodeStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertServiceHeads(t, services, st.Height)
+
+	// Sealing that block rotated leadership, so re-derive the schedule
+	// before asserting that a follower's on-chain step fails fast with
+	// the typed redirect error (its replica rejects block production).
+	follower := services[(leaderIndex(t, services)+1)%3]
+	fveh, err := follower.AddNode(ctx, "veh-f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.Provider().RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+		t.Fatal(err)
+	}
+	if err := fveh.RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+		t.Fatal(err)
+	}
+	fch, err := fveh.OpenChannel(ctx, follower.Provider().Address(), 10_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fveh.Pay(ctx, fch.ID, 100); err != nil {
+		t.Fatal(err)
+	}
+	ffs, err := fveh.Close(ctx, fch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := follower.Provider().Commit(ctx, ffs); !errors.Is(err, tinyevm.ErrNotLeader) {
+		t.Fatalf("commit on follower: %v", err)
+	}
+}
+
+// TestServiceClusterHeartbeatAndFailover lets the heartbeat miner drive
+// the chain, then closes one daemon and requires the fallback ladder to
+// keep blocks flowing on the survivors.
+func TestServiceClusterHeartbeatAndFailover(t *testing.T) {
+	services := startServiceCluster(t, 3, 25*time.Millisecond, 250*time.Millisecond)
+	ctx := context.Background()
+
+	heightOf := func(svc *tinyevm.Service) uint64 {
+		st, err := svc.NodeStatus(ctx)
+		if err != nil {
+			return 0
+		}
+		return st.Height
+	}
+	waitForCond(t, "heartbeat production", func() bool { return heightOf(services[0]) >= 3 })
+	assertServiceHeads(t, services, 3)
+
+	// Kill one daemon; rotation stalls on its slots until FallbackAfter
+	// elapses, then the next validator steps in.
+	if err := services[2].Close(); err != nil {
+		t.Fatal(err)
+	}
+	before := heightOf(services[0])
+	waitForCond(t, "liveness after node loss", func() bool {
+		return heightOf(services[0]) >= before+4 && heightOf(services[1]) >= before+4
+	})
+	h := heightOf(services[0]) - 1
+	assertServiceHeads(t, services[:2], h)
+}

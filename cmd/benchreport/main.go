@@ -34,16 +34,17 @@ import (
 )
 
 // defaultBench selects the core engine/interpreter benchmarks (jump
-// table, journaled snapshots) plus the table-2 corpus deployment
-// throughput.
-const defaultBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkTableII_Fig3_Fig4_Deploy)$"
+// table, journaled snapshots), the table-2 corpus deployment
+// throughput, and cluster block replication over the in-process
+// transport.
+const defaultBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkTableII_Fig3_Fig4_Deploy|BenchmarkClusterGossipThroughput)$"
 
 // gatedBench selects the benchmarks the regression gate enforces: the
 // engine and interpreter hot paths, including the journaled
-// snapshot/revert machinery every CALL/CREATE frame pays for. The
-// corpus benchmark is reported but not gated (its ns/op is dominated by
-// the simulated device clock).
-const gatedBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert)"
+// snapshot/revert machinery every CALL/CREATE frame pays for, plus
+// gossip replication end to end. The corpus benchmark is reported but
+// not gated (its ns/op is dominated by the simulated device clock).
+const gatedBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkClusterGossipThroughput)"
 
 // Report is the machine-readable artifact (BENCH_<n>.json schema).
 type Report struct {

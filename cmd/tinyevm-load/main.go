@@ -43,8 +43,9 @@ func main() {
 
 func run() int {
 	var (
-		url  = flag.String("url", "", "target gateway URL (mutually exclusive with -spawn)")
-		mode = flag.String("mode", "rpc", "rpc | contracts | all")
+		url     = flag.String("url", "", "target gateway URL (mutually exclusive with -spawn)")
+		targets = flag.String("targets", "", "comma-separated gateway URLs of a daemon cluster; vehicles are spread sticky across them and the report adds per-node buckets")
+		mode    = flag.String("mode", "rpc", "rpc | contracts | all")
 
 		spawn       = flag.Bool("spawn", false, "build and manage a tinyevm-serve child (required for -daemon-kills)")
 		serveBin    = flag.String("serve-bin", "", "path to a prebuilt tinyevm-serve (default: go build it)")
@@ -89,9 +90,13 @@ func run() int {
 	if *mode != "rpc" && *mode != "contracts" && *mode != "all" {
 		return fail(fmt.Errorf("bad -mode %q (want rpc, contracts or all)", *mode))
 	}
+	targetList := splitList(*targets)
 	runRPC := *mode != "contracts"
-	if runRPC && *url == "" && !*spawn {
-		return fail(fmt.Errorf("need -url or -spawn for -mode %s", *mode))
+	if runRPC && *url == "" && len(targetList) == 0 && !*spawn {
+		return fail(fmt.Errorf("need -url, -targets or -spawn for -mode %s", *mode))
+	}
+	if len(targetList) > 0 && (*url != "" || *spawn) {
+		return fail(fmt.Errorf("-targets is mutually exclusive with -url and -spawn"))
 	}
 	if *daemonKills > 0 && !*spawn {
 		return fail(fmt.Errorf("-daemon-kills requires -spawn (the harness must own the process it crashes)"))
@@ -114,6 +119,7 @@ func run() int {
 		}
 		cfg := load.Config{
 			URL:            *url,
+			Targets:        targetList,
 			Profiles:       profs,
 			Vehicles:       *vehicles,
 			HotMeters:      *hotMeters,
@@ -220,6 +226,17 @@ func spawnDaemon(ctx context.Context, bin, dataDir, provider, extra string) (*lo
 	}
 	fmt.Fprintf(os.Stderr, "tinyevm-load: daemon ready at %s (wal: %s)\n", d.URL(), dataDir)
 	return d, nil
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range bytes.Split([]byte(s), []byte(",")) {
+		if item := string(bytes.TrimSpace(f)); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }
 
 // splitArgs splits on spaces (no quoting; daemon flags are simple).

@@ -6,6 +6,12 @@
 //	tinyevm-serve -addr :8545 -provider parking-lot
 //	tinyevm-serve -addr :8545 -engine-workers 8 -challenge 10
 //
+// With -listen/-peers/-node-key/-validators, N daemons join into one
+// replicated sidechain (see docs/CLUSTER.md):
+//
+//	tinyevm-serve -addr :8545 -listen :30301 -node-key n1 \
+//	  -peers localhost:30302,localhost:30303 -validators n1,n2,n3
+//
 // A session from the shell:
 //
 //	curl -s -X POST localhost:8545 -d '{"jsonrpc":"2.0","id":1,
@@ -27,11 +33,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"tinyevm"
 	"tinyevm/internal/rpc"
+	"tinyevm/internal/store"
 )
 
 func main() {
@@ -42,21 +51,57 @@ func main() {
 		workers   = flag.Int("engine-workers", 0, "parallel-engine workers for block production (0 = serial)")
 		lossRate  = flag.Float64("radio-loss", 0, "per-frame radio loss probability")
 		radioSeed = flag.Int64("radio-seed", 1, "radio loss process seed")
-		dataDir   = flag.String("data-dir", "", "persist the deployment to a write-ahead log in this directory; on restart the previous state (nodes, channels, balances, blocks) is recovered")
+		dataDir   = flag.String("data-dir", "", "persist the deployment to a write-ahead log in this directory; on restart the previous state (nodes, channels, balances, blocks) is recovered (cluster mode persists the block archive here instead)")
+
+		// Cluster mode: N daemons form one sidechain (see docs/CLUSTER.md).
+		listen        = flag.String("listen", "", "cluster p2p listen address (enables cluster mode together with -node-key/-validators)")
+		peers         = flag.String("peers", "", "comma-separated cluster peer p2p addresses")
+		nodeKey       = flag.String("node-key", "", "validator identity seed for this daemon")
+		validators    = flag.String("validators", "", "comma-separated validator seeds of the full set, in schedule order (identical on every daemon)")
+		blockInterval = flag.Duration("block-interval", time.Second, "heartbeat block production interval for the scheduled leader (cluster mode)")
+		fallback      = flag.Duration("fallback", 10*time.Second, "let the next validator take an overdue round after this long (0 = strict single leader)")
+		strictDigests = flag.Bool("strict-digests", false, "require applied blocks to reproduce the proposer's gas usage and state digest exactly")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	clusterMode := *nodeKey != "" || *validators != ""
 	opts := []tinyevm.Option{
 		tinyevm.WithChallengePeriod(*challenge),
-		tinyevm.WithEngineWorkers(*workers),
 		tinyevm.WithRadioLossRate(*lossRate),
 		tinyevm.WithRadioSeed(*radioSeed),
 	}
-	if *dataDir != "" {
-		opts = append(opts, tinyevm.WithDataDir(*dataDir))
+	if clusterMode {
+		// The op-log journal and parallel engine are incompatible with
+		// replicated blocks; -data-dir becomes the cluster block archive.
+		cc := tinyevm.ClusterConfig{
+			Listen:        *listen,
+			Peers:         splitList(*peers),
+			NodeKey:       *nodeKey,
+			Validators:    splitList(*validators),
+			BlockInterval: *blockInterval,
+			FallbackAfter: *fallback,
+			StrictDigests: *strictDigests,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "tinyevm-serve: "+format+"\n", args...)
+			},
+		}
+		if *dataDir != "" {
+			kv, err := store.OpenWAL(filepath.Join(*dataDir, "cluster.wal"))
+			if err != nil {
+				fatal(err)
+			}
+			defer kv.Close()
+			cc.Store = kv
+		}
+		opts = append(opts, tinyevm.WithCluster(cc))
+	} else {
+		opts = append(opts, tinyevm.WithEngineWorkers(*workers))
+		if *dataDir != "" {
+			opts = append(opts, tinyevm.WithDataDir(*dataDir))
+		}
 	}
 	svc, prov, err := tinyevm.NewService(*provider, opts...)
 	if err != nil {
@@ -105,6 +150,17 @@ func mustHead(ctx context.Context, svc *tinyevm.Service) uint64 {
 		fatal(err)
 	}
 	return head
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

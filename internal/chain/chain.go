@@ -218,8 +218,28 @@ func blockHash(b *Block) types.Hash {
 	return types.BytesToHash(h.Sum(nil))
 }
 
+// ComputeBlockHash returns the canonical hash of a block. It covers
+// number, parent, timestamp, coinbase and transaction hashes — not
+// GasUsed or receipts — so a cluster follower can compute the expected
+// hash of a gossiped block from its header and transaction list before
+// executing anything (verify-before-apply).
+func ComputeBlockHash(b *Block) types.Hash { return blockHash(b) }
+
 // State exposes the chain state for inspection (tests, explorers).
 func (c *Chain) State() *evm.MemState { return c.state }
+
+// GenesisHash returns the hash of block 0; cluster handshakes use it to
+// reject peers on a different chain.
+func (c *Chain) GenesisHash() types.Hash { return c.blocks[0].Hash }
+
+// SetCoinbase sets the beneficiary address stamped into every block
+// template produced from now on. Cluster nodes point it at their node
+// key's address so sealed blocks are attributable to a validator; it
+// must be set before block production starts.
+func (c *Chain) SetCoinbase(addr types.Address) { c.coinbase = addr }
+
+// Coinbase returns the current block beneficiary address.
+func (c *Chain) Coinbase() types.Address { return c.coinbase }
 
 // Head returns the latest block.
 func (c *Chain) Head() *Block { return c.blocks[len(c.blocks)-1] }
@@ -314,8 +334,17 @@ func (c *Chain) OnSeal(hook func(*Block, []*Receipt)) {
 // MineBlock executes all pending transactions serially and seals a
 // block. It returns the receipts in execution order.
 func (c *Chain) MineBlock() []*Receipt {
-	block := c.NextBlockTemplate()
-	txs := c.TakePending()
+	return c.ApplyTemplate(c.NextBlockTemplate(), c.TakePending())
+}
+
+// ApplyTemplate executes txs serially against the canonical state and
+// seals them into the given template. It is the deterministic
+// verify-and-apply seam the cluster layer uses: a follower builds the
+// same template the leader did (NextBlockTemplate is a pure function of
+// the head) and applies the gossiped transaction list byte-identically.
+// A receipt is produced for every transaction, failed ones included, so
+// the sealed TxHashes always equal the input list's hashes in order.
+func (c *Chain) ApplyTemplate(block *Block, txs []*Transaction) []*Receipt {
 	receipts := make([]*Receipt, 0, len(txs))
 	for _, tx := range txs {
 		r, _ := c.ExecuteTx(c.state, block, tx)

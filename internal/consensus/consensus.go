@@ -1,0 +1,128 @@
+// Package consensus defines who may seal the next block. The Engine
+// interface is the cluster's policy seam: the round-robin engine below
+// gives deterministic leader rotation for cooperating daemons, and a
+// VRF- or BFT-style engine can replace it later without touching the
+// p2p or cluster layers.
+package consensus
+
+import (
+	"errors"
+	"fmt"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/types"
+)
+
+// Errors returned by engines.
+var (
+	// ErrNotLeader rejects a proposal from a node that is not the
+	// scheduled leader for the height.
+	ErrNotLeader = errors.New("consensus: not the leader for this height")
+	// ErrBadProposer rejects a block sealed by a coinbase outside the
+	// validator set or out of schedule.
+	ErrBadProposer = errors.New("consensus: block proposer violates schedule")
+	// ErrNoValidators marks an engine configured with an empty set.
+	ErrNoValidators = errors.New("consensus: validator set is empty")
+)
+
+// Engine decides, per height, which validator seals and whether a
+// sealed block respects the schedule.
+type Engine interface {
+	// Validators returns the static validator set, in schedule order.
+	Validators() []types.Address
+	// LeaderAt returns the scheduled leader for a height.
+	LeaderAt(height uint64) types.Address
+	// Propose checks whether proposer may seal the given height.
+	// overdue counts how many schedule slots have elapsed without the
+	// scheduled leader producing (0 = on time); engines use it to admit
+	// fallback proposers for liveness.
+	Propose(height uint64, proposer types.Address, overdue uint64) error
+	// Verify checks a sealed block's coinbase against the schedule,
+	// with the same overdue allowance as Propose.
+	Verify(height uint64, coinbase types.Address, overdue uint64) error
+	// Finalize observes a block accepted onto the chain (hook for
+	// engines that track rounds or stake; round-robin needs nothing).
+	Finalize(b *chain.Block)
+}
+
+// RoundRobin rotates leadership deterministically: the leader for
+// height h is validators[h % len(validators)]. With MaxFallback > 0,
+// when a round is overdue the next validators in schedule order may
+// step in (leader for slot h+k serves as fallback k), trading the
+// single-sealer guarantee for liveness when a leader dies.
+type RoundRobin struct {
+	validators []types.Address
+	index      map[types.Address]int
+	// maxFallback bounds how many schedule slots past the scheduled
+	// leader may propose an overdue height. 0 = strict single leader.
+	maxFallback uint64
+}
+
+// NewRoundRobin builds the engine. The validator order defines the
+// schedule and must be identical on every node.
+func NewRoundRobin(validators []types.Address, maxFallback uint64) (*RoundRobin, error) {
+	if len(validators) == 0 {
+		return nil, ErrNoValidators
+	}
+	if maxFallback >= uint64(len(validators)) {
+		maxFallback = uint64(len(validators) - 1)
+	}
+	idx := make(map[types.Address]int, len(validators))
+	for i, v := range validators {
+		if _, dup := idx[v]; dup {
+			return nil, fmt.Errorf("consensus: duplicate validator %s", v)
+		}
+		idx[v] = i
+	}
+	return &RoundRobin{
+		validators:  append([]types.Address(nil), validators...),
+		index:       idx,
+		maxFallback: maxFallback,
+	}, nil
+}
+
+// Validators implements Engine.
+func (rr *RoundRobin) Validators() []types.Address {
+	return append([]types.Address(nil), rr.validators...)
+}
+
+// LeaderAt implements Engine.
+func (rr *RoundRobin) LeaderAt(height uint64) types.Address {
+	return rr.validators[height%uint64(len(rr.validators))]
+}
+
+// allowed reports whether addr may seal height given how overdue the
+// round is: the scheduled leader always may; fallback k (the leader of
+// slot height+k) may once overdue >= k, up to maxFallback.
+func (rr *RoundRobin) allowed(height uint64, addr types.Address, overdue uint64) bool {
+	i, ok := rr.index[addr]
+	if !ok {
+		return false
+	}
+	lead := int(height % uint64(len(rr.validators)))
+	k := uint64((i - lead + len(rr.validators)) % len(rr.validators))
+	if k == 0 {
+		return true
+	}
+	return k <= rr.maxFallback && overdue >= k
+}
+
+// Propose implements Engine.
+func (rr *RoundRobin) Propose(height uint64, proposer types.Address, overdue uint64) error {
+	if !rr.allowed(height, proposer, overdue) {
+		return fmt.Errorf("%w: height %d is %s's slot", ErrNotLeader, height, rr.LeaderAt(height))
+	}
+	return nil
+}
+
+// Verify implements Engine.
+func (rr *RoundRobin) Verify(height uint64, coinbase types.Address, overdue uint64) error {
+	if !rr.allowed(height, coinbase, overdue) {
+		return fmt.Errorf("%w: height %d sealed by %s, scheduled %s",
+			ErrBadProposer, height, coinbase, rr.LeaderAt(height))
+	}
+	return nil
+}
+
+// Finalize implements Engine. Round-robin keeps no per-round state.
+func (rr *RoundRobin) Finalize(b *chain.Block) {}

@@ -1,0 +1,100 @@
+package consensus
+
+import (
+	"errors"
+	"testing"
+
+	"tinyevm/internal/types"
+)
+
+func vals(n int) []types.Address {
+	out := make([]types.Address, n)
+	for i := range out {
+		out[i] = types.Address{byte(i + 1)}
+	}
+	return out
+}
+
+func TestRoundRobinSchedule(t *testing.T) {
+	vs := vals(3)
+	rr, err := NewRoundRobin(vs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := uint64(0); h < 9; h++ {
+		want := vs[h%3]
+		if got := rr.LeaderAt(h); got != want {
+			t.Fatalf("LeaderAt(%d) = %s, want %s", h, got, want)
+		}
+		if err := rr.Propose(h, want, 0); err != nil {
+			t.Fatalf("scheduled leader rejected at %d: %v", h, err)
+		}
+		if err := rr.Verify(h, want, 0); err != nil {
+			t.Fatalf("scheduled coinbase rejected at %d: %v", h, err)
+		}
+	}
+}
+
+func TestRoundRobinStrictRejectsOthers(t *testing.T) {
+	vs := vals(3)
+	rr, _ := NewRoundRobin(vs, 0)
+	if err := rr.Propose(1, vs[0], 0); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("off-schedule propose: %v", err)
+	}
+	// Even massively overdue, strict mode admits nobody else.
+	if err := rr.Propose(1, vs[2], 10); !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("strict fallback propose: %v", err)
+	}
+	if err := rr.Verify(1, vs[0], 0); !errors.Is(err, ErrBadProposer) {
+		t.Fatalf("off-schedule verify: %v", err)
+	}
+	if err := rr.Verify(1, types.Address{0xff}, 5); !errors.Is(err, ErrBadProposer) {
+		t.Fatalf("non-validator verify: %v", err)
+	}
+}
+
+func TestRoundRobinFallback(t *testing.T) {
+	vs := vals(3)
+	rr, _ := NewRoundRobin(vs, 2)
+	// Height 0: leader vs[0]; first fallback vs[1]; second vs[2].
+	if err := rr.Propose(0, vs[1], 0); !errors.Is(err, ErrNotLeader) {
+		t.Fatal("fallback admitted before round was overdue")
+	}
+	if err := rr.Propose(0, vs[1], 1); err != nil {
+		t.Fatalf("first fallback rejected at overdue=1: %v", err)
+	}
+	if err := rr.Propose(0, vs[2], 1); !errors.Is(err, ErrNotLeader) {
+		t.Fatal("second fallback admitted at overdue=1")
+	}
+	if err := rr.Verify(0, vs[2], 2); err != nil {
+		t.Fatalf("second fallback verify rejected at overdue=2: %v", err)
+	}
+	// Non-validators stay out no matter what.
+	if err := rr.Propose(0, types.Address{0xff}, 99); !errors.Is(err, ErrNotLeader) {
+		t.Fatal("non-validator admitted via fallback")
+	}
+}
+
+func TestRoundRobinConfig(t *testing.T) {
+	if _, err := NewRoundRobin(nil, 0); !errors.Is(err, ErrNoValidators) {
+		t.Fatalf("empty set: %v", err)
+	}
+	dup := []types.Address{{1}, {1}}
+	if _, err := NewRoundRobin(dup, 0); err == nil {
+		t.Fatal("duplicate validator accepted")
+	}
+	// maxFallback clamps to n-1.
+	rr, err := NewRoundRobin(vals(2), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.maxFallback != 1 {
+		t.Fatalf("maxFallback = %d, want 1", rr.maxFallback)
+	}
+	// Validators returns a copy.
+	got := rr.Validators()
+	got[0] = types.Address{0xee}
+	if rr.Validators()[0] == got[0] {
+		t.Fatal("Validators leaked internal slice")
+	}
+}

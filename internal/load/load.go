@@ -80,6 +80,12 @@ func ParseProfiles(s string) ([]Profile, error) {
 type Config struct {
 	// URL is the gateway; ignored when the Runner manages a Daemon.
 	URL string
+	// Targets lists multiple gateway URLs (a cluster of daemons).
+	// Vehicles stick to one target by index (vehicle v drives target
+	// v mod len(Targets)) so each daemon owns a stable device
+	// population; the report breaks latency and errors down per node.
+	// Empty: URL (or the managed Daemon) is the single target.
+	Targets []string
 	// Profiles are run back to back, each for Duration.
 	Profiles []Profile
 	// Vehicles is the paying-device population.
@@ -162,12 +168,12 @@ func (c Config) withDefaults() Config {
 
 // Runner drives one harness run.
 type Runner struct {
-	cfg    Config
-	daemon *Daemon
-	plan   *FaultPlan
-	col    *Collector
-	client *rpc.Client
-	nextID atomic.Uint64
+	cfg     Config
+	daemon  *Daemon
+	plan    *FaultPlan
+	col     *Collector
+	clients []*rpc.Client // one per target, parallel to cfg.Targets
+	nextID  atomic.Uint64
 }
 
 // New builds a Runner. daemon is optional: when non-nil the Runner
@@ -186,16 +192,23 @@ func New(cfg Config, daemon *Daemon) *Runner {
 		plan:   NewFaultPlan(cfg.Seed, total, cfg.Payments, faults),
 		col:    NewCollector(),
 	}
-	url := cfg.URL
+	urls := cfg.Targets
 	if daemon != nil {
-		url = daemon.URL()
+		urls = []string{daemon.URL()}
+	} else if len(urls) == 0 {
+		urls = []string{cfg.URL}
 	}
 	httpClient := newHTTPClient(cfg)
-	r.client = rpc.NewClient(url, httpClient,
-		rpc.WithRequestTimeout(cfg.RequestTimeout),
-		rpc.WithRetry(cfg.Retries, cfg.Backoff))
+	for _, url := range urls {
+		r.clients = append(r.clients, rpc.NewClient(url, httpClient,
+			rpc.WithRequestTimeout(cfg.RequestTimeout),
+			rpc.WithRetry(cfg.Retries, cfg.Backoff)))
+	}
 	return r
 }
+
+// targetOf maps a vehicle to its sticky target daemon.
+func (r *Runner) targetOf(vehicle int) int { return vehicle % len(r.clients) }
 
 // Plan exposes the deterministic fault schedule (for tests and logs).
 func (r *Runner) Plan() *FaultPlan { return r.plan }
@@ -251,22 +264,27 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 // Re-registering an existing node (a rerun against a persistent
 // data-dir) is tolerated.
 func (r *Runner) setup(ctx context.Context) error {
-	add := func(name string) error {
-		_, err := r.client.AddNode(ctx, name)
+	add := func(c *rpc.Client, name string) error {
+		_, err := c.AddNode(ctx, name)
 		if err != nil && strings.Contains(err.Error(), "already exists") {
 			return nil
 		}
 		return err
 	}
+	// Each vehicle lives only on its sticky target; meters exist on
+	// every target, because channels are daemon-local and a vehicle can
+	// only open against a meter its own daemon hosts.
 	for v := 0; v < r.cfg.Vehicles; v++ {
-		if err := add(vehicleName(v)); err != nil {
+		if err := add(r.clients[r.targetOf(v)], vehicleName(v)); err != nil {
 			return fmt.Errorf("load: setup vehicle %d: %w", v, err)
 		}
 	}
-	for _, profile := range r.cfg.Profiles {
-		for m := 0; m < r.meterCount(profile); m++ {
-			if err := add(r.meterName(profile, m)); err != nil {
-				return fmt.Errorf("load: setup %s meter %d: %w", profile, m, err)
+	for ti, c := range r.clients {
+		for _, profile := range r.cfg.Profiles {
+			for m := 0; m < r.meterCount(profile); m++ {
+				if err := add(c, r.meterName(profile, m)); err != nil {
+					return fmt.Errorf("load: setup %s meter %d on target %d: %w", profile, m, ti, err)
+				}
 			}
 		}
 	}
@@ -380,12 +398,15 @@ func hashString(s string) uint64 {
 // fault-plan abort kills the client mid-payment, leaving the channel
 // dangling exactly as a crashed device would.
 func (r *Runner) session(ctx context.Context, profile Profile, id uint64, shard *Shard) {
-	vehicle := vehicleName(int(id) % r.cfg.Vehicles)
+	v := int(id) % r.cfg.Vehicles
+	vehicle := vehicleName(v)
 	meter := r.meterFor(profile, id)
+	node := r.targetOf(v)
+	client := r.clients[node]
 
 	start := time.Now()
-	ch, err := r.client.OpenChannel(ctx, vehicle, meter, r.cfg.ChannelDeposit, 0)
-	shard.Observe(profile, "open", time.Since(start), err)
+	ch, err := client.OpenChannel(ctx, vehicle, meter, r.cfg.ChannelDeposit, 0)
+	shard.Observe(profile, "open", node, time.Since(start), err)
 	if err != nil {
 		shard.Session(false, false)
 		return
@@ -398,8 +419,8 @@ func (r *Runner) session(ctx context.Context, profile Profile, id uint64, shard 
 			return // client killed mid-payment: channel stays open
 		}
 		start = time.Now()
-		_, err := r.client.Pay(ctx, vehicle, ch.ID, r.cfg.Amount)
-		shard.Observe(profile, "pay", time.Since(start), err)
+		_, err := client.Pay(ctx, vehicle, ch.ID, r.cfg.Amount)
+		shard.Observe(profile, "pay", node, time.Since(start), err)
 		if err != nil {
 			shard.Session(false, false)
 			return
@@ -408,8 +429,8 @@ func (r *Runner) session(ctx context.Context, profile Profile, id uint64, shard 
 
 	if r.cfg.DepositEvery > 0 && id%uint64(r.cfg.DepositEvery) == 0 {
 		start = time.Now()
-		_, err := r.client.Deposit(ctx, vehicle, r.cfg.Amount)
-		shard.Observe(profile, "deposit", time.Since(start), err)
+		_, err := client.Deposit(ctx, vehicle, r.cfg.Amount)
+		shard.Observe(profile, "deposit", node, time.Since(start), err)
 		if err != nil {
 			shard.Session(false, false)
 			return
@@ -417,8 +438,8 @@ func (r *Runner) session(ctx context.Context, profile Profile, id uint64, shard 
 	}
 
 	start = time.Now()
-	_, err = r.client.CloseChannel(ctx, vehicle, ch.ID)
-	shard.Observe(profile, "close", time.Since(start), err)
+	_, err = client.CloseChannel(ctx, vehicle, ch.ID)
+	shard.Observe(profile, "close", node, time.Since(start), err)
 	shard.Session(err == nil, false)
 }
 

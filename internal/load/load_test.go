@@ -2,6 +2,7 @@ package load
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -350,5 +351,58 @@ func repoRoot(t *testing.T) string {
 			t.Fatal("go.mod not found above package dir")
 		}
 		dir = parent
+	}
+}
+
+// TestRunnerMultiTarget spreads vehicles across two in-process gateways
+// and checks the per-node report buckets: both nodes served traffic,
+// node latency counts sum to the op counts, and the bench emission
+// carries one BenchmarkLoadNode line per target.
+func TestRunnerMultiTarget(t *testing.T) {
+	targets := []string{newInProcessGateway(t), newInProcessGateway(t)}
+	r := New(Config{
+		Targets:     targets,
+		Profiles:    []Profile{ProfileDisjoint},
+		Vehicles:    4,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Payments:    3,
+		Seed:        11,
+	}, nil)
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("gate verdict: %v\nreport:\n%s", err, rep)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("want 2 node buckets, got %+v", rep.Nodes)
+	}
+	var nodeOps, opOps uint64
+	for i, ns := range rep.Nodes {
+		if ns.Index != i || ns.Target != targets[i] {
+			t.Fatalf("node bucket %d = %+v", i, ns)
+		}
+		if ns.Count == 0 {
+			t.Fatalf("node %d served no traffic:\n%s", i, rep)
+		}
+		nodeOps += ns.Count
+	}
+	for _, op := range rep.Ops {
+		opOps += op.Count
+	}
+	if nodeOps != opOps {
+		t.Fatalf("node op count %d != per-op count %d", nodeOps, opOps)
+	}
+	var bench bytes.Buffer
+	if err := rep.WriteBench(&bench); err != nil {
+		t.Fatal(err)
+	}
+	for i := range targets {
+		want := fmt.Sprintf("BenchmarkLoadNode/%d ", i)
+		if !strings.Contains(bench.String(), want) {
+			t.Fatalf("bench output missing %q:\n%s", want, bench.String())
+		}
 	}
 }

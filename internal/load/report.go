@@ -56,6 +56,7 @@ type Collector struct {
 	mu         sync.Mutex
 	ops        map[string]*stats.LatencyHist // "profile/op" → latencies
 	errs       map[string]uint64             // taxonomy kind → count
+	nodes      map[int]*nodeBucket           // target index → per-node buckets
 	unknown    []string
 	sessions   uint64
 	completed  uint64
@@ -69,10 +70,21 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
-		ops:  make(map[string]*stats.LatencyHist),
-		errs: make(map[string]uint64),
+		ops:   make(map[string]*stats.LatencyHist),
+		errs:  make(map[string]uint64),
+		nodes: make(map[int]*nodeBucket),
 	}
 }
+
+// nodeBucket aggregates one target daemon's view: all-op latency plus
+// an error taxonomy, so a multi-target run shows which node is slow or
+// rejecting (e.g. a follower returning not-leader).
+type nodeBucket struct {
+	lat  stats.LatencyHist
+	errs map[string]uint64
+}
+
+func newNodeBucket() *nodeBucket { return &nodeBucket{errs: make(map[string]uint64)} }
 
 // Shard is a worker-local, lock-free view of the collector. Close
 // merges it back; a Shard must not be used after Close.
@@ -80,6 +92,7 @@ type Shard struct {
 	col       *Collector
 	ops       map[string]*stats.LatencyHist
 	errs      map[string]uint64
+	nodes     map[int]*nodeBucket
 	unknown   []string
 	sessions  uint64
 	completed uint64
@@ -90,14 +103,21 @@ type Shard struct {
 // Shard creates a worker-local shard.
 func (c *Collector) Shard() *Shard {
 	return &Shard{
-		col:  c,
-		ops:  make(map[string]*stats.LatencyHist),
-		errs: make(map[string]uint64),
+		col:   c,
+		ops:   make(map[string]*stats.LatencyHist),
+		errs:  make(map[string]uint64),
+		nodes: make(map[int]*nodeBucket),
 	}
 }
 
-// Observe records one timed operation and classifies its error.
-func (s *Shard) Observe(profile Profile, op string, d time.Duration, err error) {
+// Observe records one timed operation against target daemon node and
+// classifies its error.
+func (s *Shard) Observe(profile Profile, op string, node int, d time.Duration, err error) {
+	nb := s.nodes[node]
+	if nb == nil {
+		nb = newNodeBucket()
+		s.nodes[node] = nb
+	}
 	if err == nil {
 		key := string(profile) + "/" + op
 		h := s.ops[key]
@@ -106,10 +126,12 @@ func (s *Shard) Observe(profile Profile, op string, d time.Duration, err error) 
 			s.ops[key] = h
 		}
 		h.ObserveDuration(d)
+		nb.lat.ObserveDuration(d)
 		return
 	}
 	kind := Classify(err)
 	s.errs[kind]++
+	nb.errs[kind]++
 	if kind == "unknown" && len(s.unknown) < maxUnknownSamples {
 		s.unknown = append(s.unknown, err.Error())
 	}
@@ -143,6 +165,17 @@ func (s *Shard) Close() {
 	}
 	for kind, n := range s.errs {
 		c.errs[kind] += n
+	}
+	for node, nb := range s.nodes {
+		dst := c.nodes[node]
+		if dst == nil {
+			dst = newNodeBucket()
+			c.nodes[node] = dst
+		}
+		dst.lat.Merge(&nb.lat)
+		for kind, n := range nb.errs {
+			dst.errs[kind] += n
+		}
 	}
 	room := maxUnknownSamples - len(c.unknown)
 	if room > len(s.unknown) {
@@ -188,11 +221,25 @@ type OpStats struct {
 	PerSec  float64
 }
 
+// NodeStats is one target daemon's slice of a report: all-op latency
+// plus that node's error taxonomy.
+type NodeStats struct {
+	Index  int
+	Target string
+	Count  uint64
+	MeanMS float64
+	P50MS  float64
+	P95MS  float64
+	P99MS  float64
+	Errors map[string]uint64
+}
+
 // Report is the outcome of one harness run.
 type Report struct {
 	Config   Config
 	Elapsed  time.Duration
 	Ops      []OpStats
+	Nodes    []NodeStats
 	Errors   map[string]uint64
 	Unknown  []string
 	Sessions struct {
@@ -248,6 +295,34 @@ func (c *Collector) report(cfg Config, elapsed time.Duration, windows map[Profil
 			PerSec:  float64(h.Count()) / window.Seconds(),
 		})
 	}
+
+	nodeIdx := make([]int, 0, len(c.nodes))
+	for i := range c.nodes {
+		nodeIdx = append(nodeIdx, i)
+	}
+	sort.Ints(nodeIdx)
+	for _, i := range nodeIdx {
+		nb := c.nodes[i]
+		target := cfg.URL
+		if i < len(cfg.Targets) {
+			target = cfg.Targets[i]
+		}
+		p50, p95, p99 := nb.lat.QuantilesMS()
+		ns := NodeStats{
+			Index:  i,
+			Target: target,
+			Count:  nb.lat.Count(),
+			MeanMS: nb.lat.Mean() / 1e6,
+			P50MS:  p50,
+			P95MS:  p95,
+			P99MS:  p99,
+			Errors: make(map[string]uint64, len(nb.errs)),
+		}
+		for kind, n := range nb.errs {
+			ns.Errors[kind] = n
+		}
+		r.Nodes = append(r.Nodes, ns)
+	}
 	return r
 }
 
@@ -278,6 +353,23 @@ func (r *Report) String() string {
 		for _, op := range r.Ops {
 			fmt.Fprintf(&b, "%-28s %8d %9.3f %9.3f %9.3f %9.3f %9.1f\n",
 				op.Profile+"/"+op.Op, op.Count, op.MeanMS, op.P50MS, op.P95MS, op.P99MS, op.PerSec)
+		}
+	}
+	// Per-node rows only say something when the run spread across
+	// multiple daemons.
+	if len(r.Nodes) > 1 {
+		for _, ns := range r.Nodes {
+			fmt.Fprintf(&b, "node %d (%s): %d ops, mean %.3f ms, p99 %.3f ms",
+				ns.Index, ns.Target, ns.Count, ns.MeanMS, ns.P99MS)
+			kinds := make([]string, 0, len(ns.Errors))
+			for k := range ns.Errors {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			for _, k := range kinds {
+				fmt.Fprintf(&b, " %s=%d", k, ns.Errors[k])
+			}
+			b.WriteByte('\n')
 		}
 	}
 	if len(r.Errors) > 0 {
@@ -313,6 +405,18 @@ func (r *Report) WriteBench(w io.Writer) error {
 			"BenchmarkLoadOp/%s/%s %d %.0f ns/op %.3f p50-ms %.3f p95-ms %.3f p99-ms %.1f ops/s\n",
 			op.Profile, op.Op, op.Count, op.MeanMS*1e6,
 			op.P50MS, op.P95MS, op.P99MS, op.PerSec); err != nil {
+			return err
+		}
+	}
+	for _, ns := range r.Nodes {
+		var errTotal uint64
+		for _, n := range ns.Errors {
+			errTotal += n
+		}
+		if _, err := fmt.Fprintf(w,
+			"BenchmarkLoadNode/%d %d %.0f ns/op %.3f p50-ms %.3f p95-ms %.3f p99-ms %d errors\n",
+			ns.Index, ns.Count, ns.MeanMS*1e6,
+			ns.P50MS, ns.P95MS, ns.P99MS, errTotal); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,142 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds one framed message on the wire (8 MiB). A peer
+// announcing a larger frame is disconnected before any allocation.
+const MaxFrame = 8 << 20
+
+// ErrFrameTooLarge marks a frame whose announced length exceeds
+// MaxFrame.
+var ErrFrameTooLarge = errors.New("p2p: frame exceeds size limit")
+
+// Conn is one framed, bidirectional message stream between two nodes.
+// Send and Recv are safe for one concurrent sender and one concurrent
+// receiver (the node runs exactly one writer and one reader per conn).
+type Conn interface {
+	// Send writes one frame.
+	Send(frame []byte) error
+	// Recv blocks for the next frame.
+	Recv() ([]byte, error)
+	// Close tears the connection down; blocked Send/Recv return errors.
+	Close() error
+	// RemoteAddr names the other end (diagnostics only).
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the bound address peers can Dial.
+	Addr() string
+}
+
+// Transport abstracts the byte layer so the cluster runs identically
+// over TCP (deployments) and an in-process network (tests, benchmarks)
+// — and later over radio-realistic links.
+type Transport interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// --- TCP ---------------------------------------------------------------
+
+// TCP is the deployment transport: length-prefixed frames (u32
+// big-endian) over TCP.
+type TCP struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// Listen implements Transport.
+func (t *TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(addr string) (Conn, error) {
+	timeout := t.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (tl *tcpListener) Accept() (Conn, error) {
+	c, err := tl.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (tl *tcpListener) Close() error { return tl.l.Close() }
+func (tl *tcpListener) Addr() string { return tl.l.Addr().String() }
+
+type tcpConn struct {
+	c net.Conn
+
+	// wmu serializes writers; the length prefix and payload must land
+	// adjacently.
+	wmu sync.Mutex
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck // best effort
+	}
+	return &tcpConn{c: c}
+}
+
+func (tc *tcpConn) Send(frame []byte) error {
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(frame))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	tc.wmu.Lock()
+	defer tc.wmu.Unlock()
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := tc.c.Write(frame)
+	return err
+}
+
+func (tc *tcpConn) Recv() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(tc.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(tc.c, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+func (tc *tcpConn) Close() error       { return tc.c.Close() }
+func (tc *tcpConn) RemoteAddr() string { return tc.c.RemoteAddr().String() }

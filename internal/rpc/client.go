@@ -281,6 +281,23 @@ func (c *Client) Head(ctx context.Context) (uint64, error) {
 	return out.Head, err
 }
 
+// NodeStatus returns the daemon's cluster view: height, head hash,
+// peer count and role ("standalone" when the daemon is not clustered).
+func (c *Client) NodeStatus(ctx context.Context) (NodeStatus, error) {
+	var out NodeStatus
+	err := c.Call(ctx, "tinyevm_nodeStatus", nil, &out)
+	return out, err
+}
+
+// BlockHash returns the hex hash of the sealed block at a height.
+func (c *Client) BlockHash(ctx context.Context, number uint64) (string, error) {
+	var out struct {
+		Hash string `json:"hash"`
+	}
+	err := c.Call(ctx, "tinyevm_blockHash", map[string]uint64{"number": number}, &out)
+	return out.Hash, err
+}
+
 // Subscribe opens an event subscription on a node and returns its id.
 func (c *Client) Subscribe(ctx context.Context, node string) (string, error) {
 	var out struct {

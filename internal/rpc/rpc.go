@@ -99,6 +99,8 @@ var errorKinds = []struct {
 	// Listed after the protocol sentinels so the wire kind names the
 	// concrete cause; local callers still branch on ErrDeliveryFailed.
 	{tinyevm.ErrDeliveryFailed, "delivery-failed"},
+	{tinyevm.ErrNotLeader, "not-leader"},
+	{tinyevm.ErrClusterOp, "cluster-op"},
 	{context.Canceled, "canceled"},
 	{context.DeadlineExceeded, "deadline-exceeded"},
 }
@@ -205,6 +207,35 @@ type Receipt struct {
 	GasUsed uint64 `json:"gasUsed"`
 	Block   uint64 `json:"block"`
 	Error   string `json:"error,omitempty"`
+}
+
+// NodeStatus is the wire form of a daemon's cluster view. A standalone
+// gateway reports role "standalone" with zero peers.
+type NodeStatus struct {
+	Height    uint64 `json:"height"`
+	Head      string `json:"head"`
+	Peers     int    `json:"peers"`
+	Role      string `json:"role"`
+	Validator string `json:"validator,omitempty"`
+	Leader    string `json:"leader,omitempty"`
+	Pool      int    `json:"pool,omitempty"`
+}
+
+func toNodeStatus(st tinyevm.NodeStatus) NodeStatus {
+	out := NodeStatus{
+		Height: st.Height,
+		Head:   st.Head.Hex(),
+		Peers:  st.Peers,
+		Role:   st.Role,
+		Pool:   st.Pool,
+	}
+	if !st.Validator.IsZero() {
+		out.Validator = st.Validator.Hex()
+	}
+	if !st.Leader.IsZero() {
+		out.Leader = st.Leader.Hex()
+	}
+	return out
 }
 
 // Event is the wire form of a service event.

@@ -286,3 +286,39 @@ func TestRPCUnsubscribe(t *testing.T) {
 		t.Fatal("poll after unsubscribe should fail")
 	}
 }
+
+// TestRPCNodeStatusAndBlockHash covers the cluster introspection
+// endpoints on a standalone gateway: role "standalone", zero peers,
+// and a stable block hash once a block is sealed.
+func TestRPCNodeStatusAndBlockHash(t *testing.T) {
+	svc, client := newTestGateway(t)
+	ctx := context.Background()
+
+	st, err := client.NodeStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "standalone" || st.Peers != 0 {
+		t.Fatalf("standalone status = %+v", st)
+	}
+	if err := svc.MineBlock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, err = client.NodeStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Height != 1 || st.Head == "" {
+		t.Fatalf("post-mine status = %+v", st)
+	}
+	h, err := client.BlockHash(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != st.Head {
+		t.Fatalf("blockHash(1) = %s, head = %s", h, st.Head)
+	}
+	if _, err := client.BlockHash(ctx, 99); err == nil {
+		t.Fatal("blockHash(99) succeeded for unsealed height")
+	}
+}

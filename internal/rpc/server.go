@@ -430,6 +430,26 @@ func (s *Server) dispatch(ctx context.Context, method string, params json.RawMes
 		}
 		return map[string]uint64{"head": head}, nil
 
+	case "tinyevm_nodeStatus", "tinyevm_node_status":
+		st, err := s.svc.NodeStatus(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toNodeStatus(st), nil
+
+	case "tinyevm_blockHash":
+		var in struct {
+			Number uint64 `json:"number"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		h, err := s.svc.BlockHash(ctx, in.Number)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return map[string]string{"hash": h.Hex()}, nil
+
 	case "tinyevm_subscribe":
 		var in struct {
 			Node string `json:"node"`

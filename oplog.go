@@ -390,7 +390,12 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		})
 
 	case opMineBlock:
-		if s.eng != nil {
+		if s.cluster != nil {
+			if err := s.cluster.CheckProposerLocked(); err != nil {
+				return res, err
+			}
+			s.cluster.ProduceBlockLocked()
+		} else if s.eng != nil {
 			s.eng.MineBlock()
 		} else {
 			s.sys.Chain.MineBlock()
@@ -398,6 +403,12 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		return res, nil
 
 	case opRunChallenge:
+		if s.cluster != nil {
+			// Sealing a burst of blocks outside the leader schedule would
+			// be rejected by every peer; the heartbeat miner advances
+			// challenge periods instead.
+			return res, fmt.Errorf("%w: RunChallengePeriod (let the heartbeat miner advance the chain)", ErrClusterOp)
+		}
 		return res, s.sys.RunChallengePeriod()
 
 	case opDeployContract:

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"tinyevm/internal/chain"
+	"tinyevm/internal/cluster"
 	"tinyevm/internal/core"
 	"tinyevm/internal/engine"
 	"tinyevm/internal/protocol"
@@ -43,6 +44,7 @@ type serviceConfig struct {
 	clock         func() time.Time
 	kv            store.KVStore
 	dataDir       string
+	cluster       *ClusterConfig
 }
 
 // WithChallengePeriod sets the on-chain template's challenge window in
@@ -146,6 +148,10 @@ type Service struct {
 	ops     store.KVStore
 	opSeq   uint64
 	ownedKV store.KVStore
+
+	// cluster is the multi-node sidechain binding (nil without
+	// WithCluster); see cluster_service.go.
+	cluster *cluster.Node
 }
 
 // NewService creates a TinyEVM deployment whose provider node (the
@@ -213,6 +219,11 @@ func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, er
 			return nil, nil, err
 		}
 	}
+	if cfg.cluster != nil {
+		if err := s.setupCluster(&cfg); err != nil {
+			return nil, nil, err
+		}
+	}
 	return s, pn, nil
 }
 
@@ -267,6 +278,10 @@ func (s *Service) Close() error {
 	s.subMu.Unlock()
 	for _, sub := range subs {
 		sub.cancel()
+	}
+	// The cluster's goroutines acquire s.mu; stop them before taking it.
+	if s.cluster != nil {
+		s.cluster.Close() //nolint:errcheck // shutdown path
 	}
 	// Serialize against in-flight operations before releasing a store
 	// the service owns.
@@ -367,6 +382,9 @@ func (s *Service) System() *System { return s.sys }
 
 // txSender returns the block producer on-chain operations go through.
 func (s *Service) txSender() protocol.TxSender {
+	if s.cluster != nil {
+		return &clusterTxSender{s: s}
+	}
 	if s.eng != nil {
 		return &engineTxSender{c: s.sys.Chain, e: s.eng}
 	}
