@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e load-smoke cluster-smoke docs-check
+.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e load-smoke cluster-smoke shard-contention docs-check
 
 all: build lint test
 
@@ -31,7 +31,7 @@ bench-smoke:
 
 # Machine-readable benchmark report (BENCH_<n>.json schema).
 bench-report:
-	$(GO) run ./cmd/benchreport -q -out BENCH_7.json
+	$(GO) run ./cmd/benchreport -q -out BENCH_8.json
 
 # Crash-recovery end-to-end: SIGKILL a real tinyevm-serve -data-dir
 # daemon mid-workload, restart it, and assert the recovered head block,
@@ -56,6 +56,17 @@ load-smoke:
 		-daemon-kills 1 -client-kill 0.1 -drop 0.02 -delay 0.1 \
 		-delay-max 5ms -retries 4 -wl-txs 256 -bench-out load-bench.txt
 	$(GO) run ./cmd/benchreport -parse load-bench.txt -out bench-load.json
+
+# Shard-contention smoke — what the CI shard-contention step runs:
+# race-enabled hammers over disjoint and colliding channel pairs on
+# the striped hot path, then the load harness's hotspot profile
+# (receiver-side contention on a few hot meters) with batched RPC
+# against a spawned daemon.
+shard-contention:
+	$(GO) test -race -v -run 'TestShard.*Hammer' .
+	$(GO) run ./cmd/tinyevm-load -spawn -profiles hotspot -duration 5s \
+		-batch 8 -concurrency 16 -vehicles 24 -hot-meters 3 \
+		-bench-out shard-contention.txt
 
 # Cluster smoke — what the CI cluster-smoke job runs: three real
 # tinyevm-serve daemons form one sidechain over TCP, payments flow

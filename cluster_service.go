@@ -157,8 +157,9 @@ func (cs *clusterTxSender) SendTransaction(tx *chain.Transaction) (*chain.Receip
 var _ protocol.TxSender = (*clusterTxSender)(nil)
 
 // NodeStatus reports the node's cluster view: chain height and head
-// hash, live peer count, and this node's role. A standalone service
-// (no WithCluster) reports role "standalone" with zero peers.
+// hash, live peer count, and this node's role, plus the sharded hot
+// path's vital signs. A standalone service (no WithCluster) reports
+// role "standalone" with zero peers.
 type NodeStatus struct {
 	Height    uint64
 	Head      types.Hash
@@ -167,6 +168,14 @@ type NodeStatus struct {
 	Validator types.Address
 	Leader    types.Address
 	Pool      int
+
+	// Shards is the hot path's lock-stripe count; PendingOps counts the
+	// pairwise ops currently queued on or holding each stripe; and
+	// PipelineDepth is the number of sealed blocks whose WAL commit is
+	// still in flight (see shard.go / internal/chain pipeline.go).
+	Shards        int
+	PendingOps    []int
+	PipelineDepth int
 }
 
 // NodeStatus returns the current cluster status of this service.
@@ -176,18 +185,21 @@ func (s *Service) NodeStatus(ctx context.Context) (NodeStatus, error) {
 		if s.cluster == nil {
 			head := s.sys.Chain.Head()
 			st = NodeStatus{Height: head.Number, Head: head.Hash, Role: "standalone"}
-			return nil
+		} else {
+			cst := s.cluster.StatusLocked()
+			st = NodeStatus{
+				Height:    cst.Height,
+				Head:      cst.Head,
+				Peers:     cst.Peers,
+				Role:      cst.Role,
+				Validator: cst.Validator,
+				Leader:    cst.Leader,
+				Pool:      cst.Pool,
+			}
 		}
-		cst := s.cluster.StatusLocked()
-		st = NodeStatus{
-			Height:    cst.Height,
-			Head:      cst.Head,
-			Peers:     cst.Peers,
-			Role:      cst.Role,
-			Validator: cst.Validator,
-			Leader:    cst.Leader,
-			Pool:      cst.Pool,
-		}
+		st.Shards = len(s.shards)
+		st.PendingOps = s.shardPending()
+		st.PipelineDepth = s.sys.Chain.PipelineDepth()
 		return nil
 	})
 	return st, err

@@ -35,16 +35,19 @@ import (
 
 // defaultBench selects the core engine/interpreter benchmarks (jump
 // table, journaled snapshots), the table-2 corpus deployment
-// throughput, and cluster block replication over the in-process
-// transport.
-const defaultBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkTableII_Fig3_Fig4_Deploy|BenchmarkClusterGossipThroughput)$"
+// throughput, cluster block replication over the in-process transport,
+// and the sharded-service payment throughput over the in-process
+// batch-RPC gateway (10k concurrent channels).
+const defaultBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkTableII_Fig3_Fig4_Deploy|BenchmarkClusterGossipThroughput|BenchmarkShardedServiceThroughput)$"
 
 // gatedBench selects the benchmarks the regression gate enforces: the
 // engine and interpreter hot paths, including the journaled
-// snapshot/revert machinery every CALL/CREATE frame pays for, plus
-// gossip replication end to end. The corpus benchmark is reported but
-// not gated (its ns/op is dominated by the simulated device clock).
-const gatedBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkClusterGossipThroughput)"
+// snapshot/revert machinery every CALL/CREATE frame pays for, gossip
+// replication end to end, and the sharded service hot path (its
+// allocs/op is the canary for accidental per-payment overhead on the
+// striped gateway path). The corpus benchmark is reported but not
+// gated (its ns/op is dominated by the simulated device clock).
+const gatedBench = "^(BenchmarkEngineMineBlock|BenchmarkEVMTransferCall|BenchmarkInterpreterThroughput|BenchmarkSnapshotRevert|BenchmarkClusterGossipThroughput|BenchmarkShardedServiceThroughput)"
 
 // Report is the machine-readable artifact (BENCH_<n>.json schema).
 type Report struct {

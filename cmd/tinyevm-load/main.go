@@ -61,6 +61,7 @@ func run() int {
 		hotMeters   = flag.Int("hot-meters", 4, "meter count for the hotspot profile")
 		duration    = flag.Duration("duration", 5*time.Second, "measurement window per profile")
 		payments    = flag.Int("payments", 10, "payments per session")
+		batch       = flag.Int("batch", 1, "group this many payments into one JSON-RPC batch request (1 = no batching)")
 		deposit     = flag.Uint64("deposit", 10_000, "channel deposit")
 		amount      = flag.Uint64("amount", 5, "per-payment amount")
 		depositEach = flag.Int("deposit-every", 7, "every k-th session locks funds on-chain (seals a block); 0 disables")
@@ -128,6 +129,7 @@ func run() int {
 			Concurrency:    *concurrency,
 			Duration:       *duration,
 			Payments:       *payments,
+			Batch:          *batch,
 			ChannelDeposit: *deposit,
 			Amount:         *amount,
 			DepositEvery:   *depositEach,

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"tinyevm/internal/evm"
 	"tinyevm/internal/keccak"
@@ -180,8 +181,15 @@ type Chain struct {
 	// block-sealed events.
 	sealHooks []func(*Block, []*Receipt)
 	// kv and storeErr belong to the persistence layer (see persist.go).
+	// storeMu guards storeErr: with the seal pipeline enabled the
+	// committer goroutine latches failures concurrently with readers.
 	kv       store.KVStore
+	storeMu  sync.Mutex
 	storeErr error
+	// pipe, when non-nil, commits sealed batches asynchronously in seal
+	// order so the next block can execute while the previous one hits
+	// the WAL (see pipeline.go).
+	pipe *sealPipeline
 }
 
 // New creates a chain with a genesis block.

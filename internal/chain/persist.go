@@ -121,7 +121,22 @@ func (c *Chain) AttachStore(kv store.KVStore) error {
 
 // StoreErr returns the first persistence or verification error, if any.
 // Once set, no further batches are committed.
-func (c *Chain) StoreErr() error { return c.storeErr }
+func (c *Chain) StoreErr() error {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	return c.storeErr
+}
+
+// setStoreErr latches the first persistence error. Later errors are
+// dropped: the first failure is the root cause, and everything after it
+// is downstream of a store already known to be bad.
+func (c *Chain) setStoreErr(err error) {
+	c.storeMu.Lock()
+	defer c.storeMu.Unlock()
+	if c.storeErr == nil {
+		c.storeErr = err
+	}
+}
 
 // VerifyStoreHead checks that the chain has reached (at least) the
 // persisted head, with an identical block hash at that height. An
@@ -156,18 +171,22 @@ func (c *Chain) VerifyStoreHead() error {
 }
 
 // persistSeal is the OnSeal hook committing one block's durable batch.
+// The batch is always BUILT synchronously on the sealing goroutine (the
+// block record and the dirty delta must capture the state this seal
+// produced); with the pipeline enabled (pipeline.go) the built batch is
+// committed asynchronously, in seal order.
 func (c *Chain) persistSeal(b *Block, receipts []*Receipt) {
-	if c.storeErr != nil {
+	if c.StoreErr() != nil {
 		return
 	}
 	rec, err := json.Marshal(encodeBlock(b, receipts, c.state.Digest()))
 	if err != nil {
-		c.storeErr = err
+		c.setStoreErr(err)
 		return
 	}
 
 	if existing, ok, err := c.kv.Get(blockKey(b.Number)); err != nil {
-		c.storeErr = err
+		c.setStoreErr(err)
 		return
 	} else if ok {
 		// Replay over an existing store: verify instead of rewrite. The
@@ -175,7 +194,7 @@ func (c *Chain) persistSeal(b *Block, receipts []*Receipt) {
 		// reset the tracking.
 		c.state.ClearDirty()
 		if !bytes.Equal(existing, rec) {
-			c.storeErr = fmt.Errorf("%w: block %d", ErrStoreMismatch, b.Number)
+			c.setStoreErr(fmt.Errorf("%w: block %d", ErrStoreMismatch, b.Number))
 		}
 		return
 	}
@@ -188,7 +207,7 @@ func (c *Chain) persistSeal(b *Block, receipts []*Receipt) {
 		}
 		data, err := json.Marshal(encodeAcct(c.state, addr))
 		if err != nil {
-			c.storeErr = err
+			c.setStoreErr(err)
 			return
 		}
 		batch.Put(acctKey(addr), data)
@@ -196,12 +215,16 @@ func (c *Chain) persistSeal(b *Block, receipts []*Receipt) {
 	batch.Put(blockKey(b.Number), rec)
 	head, err := json.Marshal(headRecord{Number: b.Number, Hash: b.Hash.Hex()})
 	if err != nil {
-		c.storeErr = err
+		c.setStoreErr(err)
 		return
 	}
 	batch.Put([]byte(headKey), head)
+	if c.pipe != nil {
+		c.pipe.enqueue(batch)
+		return
+	}
 	if err := batch.Commit(); err != nil {
-		c.storeErr = err
+		c.setStoreErr(err)
 	}
 }
 

@@ -28,6 +28,14 @@
 // Determinism: group formation, scheduling-independent speculation,
 // set-based conflict detection and ordered merging make the produced
 // block a pure function of the submitted transactions.
+//
+// Cross-block pipelining: sealing hands the block's durable batch to
+// the chain's seal pipeline (internal/chain pipeline.go) when one is
+// enabled, so MineBlock returns — and block N+1's conflict groups
+// start executing on fresh overlay views — while block N's WAL commit
+// is still in flight. The engine never observes the store directly;
+// the overlap is safe because speculation reads the already-merged
+// in-memory chain state, never the KV store.
 package engine
 
 import (

@@ -103,6 +103,11 @@ type Config struct {
 	Duration time.Duration
 	// Payments per session.
 	Payments int
+	// Batch groups a session's payments into JSON-RPC 2.0 batch
+	// requests of this size, amortizing HTTP round trips (the gateway
+	// executes batched entries concurrently). 0 or 1 sends one request
+	// per payment.
+	Batch int
 	// ChannelDeposit is the off-chain deposit of each channel.
 	ChannelDeposit uint64
 	// Amount is the per-payment amount.
@@ -412,19 +417,22 @@ func (r *Runner) session(ctx context.Context, profile Profile, id uint64, shard 
 		return
 	}
 
+	// A fault-plan abort kills the client before payment abortAfter, so
+	// only the payments preceding it go out (batched or not).
 	abortAfter, abort := r.plan.SessionAbort(id)
-	for i := 0; i < r.cfg.Payments; i++ {
-		if abort && i == abortAfter {
-			shard.Session(false, true)
-			return // client killed mid-payment: channel stays open
-		}
-		start = time.Now()
-		_, err := client.Pay(ctx, vehicle, ch.ID, r.cfg.Amount)
-		shard.Observe(profile, "pay", node, time.Since(start), err)
-		if err != nil {
-			shard.Session(false, false)
-			return
-		}
+	pays := r.cfg.Payments
+	if abort && abortAfter < pays {
+		pays = abortAfter
+	} else {
+		abort = false
+	}
+	if !r.pay(ctx, client, profile, node, vehicle, ch.ID, pays, shard) {
+		shard.Session(false, false)
+		return
+	}
+	if abort {
+		shard.Session(false, true)
+		return // client killed mid-payment: channel stays open
 	}
 
 	if r.cfg.DepositEvery > 0 && id%uint64(r.cfg.DepositEvery) == 0 {
@@ -441,6 +449,55 @@ func (r *Runner) session(ctx context.Context, profile Profile, id uint64, shard 
 	_, err = client.CloseChannel(ctx, vehicle, ch.ID)
 	shard.Observe(profile, "close", node, time.Since(start), err)
 	shard.Session(err == nil, false)
+}
+
+// pay sends n payments on one channel, reporting each to the shard,
+// and returns false on the first failure. With cfg.Batch > 1 payments
+// go out in JSON-RPC batch requests of that size; every entry of a
+// batch is observed with the batch's round-trip latency, since that is
+// what the client waited for.
+func (r *Runner) pay(ctx context.Context, client *rpc.Client, profile Profile, node int, vehicle string, ch uint64, n int, shard *Shard) bool {
+	if r.cfg.Batch <= 1 {
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			_, err := client.Pay(ctx, vehicle, ch, r.cfg.Amount)
+			shard.Observe(profile, "pay", node, time.Since(start), err)
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	for done := 0; done < n; {
+		k := r.cfg.Batch
+		if rest := n - done; k > rest {
+			k = rest
+		}
+		b := client.NewBatch()
+		for j := 0; j < k; j++ {
+			b.Pay(vehicle, ch, r.cfg.Amount, nil)
+		}
+		start := time.Now()
+		errs, err := b.Call(ctx)
+		elapsed := time.Since(start)
+		if err != nil {
+			// Whole-batch (transport) failure: every entry shares it.
+			for j := 0; j < k; j++ {
+				shard.Observe(profile, "pay", node, elapsed, err)
+			}
+			return false
+		}
+		failed := false
+		for _, e := range errs {
+			shard.Observe(profile, "pay", node, elapsed, e)
+			failed = failed || e != nil
+		}
+		if failed {
+			return false
+		}
+		done += k
+	}
+	return true
 }
 
 // newHTTPClient builds the workload transport, wrapping in chaos when

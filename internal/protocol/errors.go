@@ -35,31 +35,40 @@ var (
 	ErrInsufficientChannelBalance = errors.New("protocol: payment exceeds channel deposit")
 )
 
-// Deprecated aliases for the pre-taxonomy names. errors.Is matches the
-// canonical sentinels through them; new code should use the canonical
-// names.
-var (
-	// ErrNoChannel is the old name of ErrUnknownChannel.
-	//
-	// Deprecated: use ErrUnknownChannel.
-	ErrNoChannel = ErrUnknownChannel
-	// ErrBadSeq is the old name of ErrStaleSequence.
-	//
-	// Deprecated: use ErrStaleSequence.
-	ErrBadSeq = ErrStaleSequence
-	// ErrBadSigner is the old name of ErrSignature.
-	//
-	// Deprecated: use ErrSignature.
-	ErrBadSigner = ErrSignature
-	// ErrDecreasing is the old name of ErrDecreasingCumulative.
-	//
-	// Deprecated: use ErrDecreasingCumulative.
-	ErrDecreasing = ErrDecreasingCumulative
-	// ErrExceedsDeposit is the old name of ErrInsufficientChannelBalance.
-	//
-	// Deprecated: use ErrInsufficientChannelBalance.
-	ErrExceedsDeposit = ErrInsufficientChannelBalance
-)
+// Sentinels returns the complete taxonomy of exported protocol error
+// sentinels, keyed by their Go identifier. It is the source of truth
+// for exhaustiveness checks: the RPC layer's wire-kind table must map
+// every entry (both directions), and a test built on go/parser fails
+// when a new exported Err* is declared without being registered here.
+func Sentinels() map[string]error {
+	return map[string]error{
+		"ErrUnknownChannel":             ErrUnknownChannel,
+		"ErrStaleSequence":              ErrStaleSequence,
+		"ErrSignature":                  ErrSignature,
+		"ErrDecreasingCumulative":       ErrDecreasingCumulative,
+		"ErrChannelClosed":              ErrChannelClosed,
+		"ErrInsufficientChannelBalance": ErrInsufficientChannelBalance,
+		"ErrBadMessage":                 ErrBadMessage,
+		"ErrBadMsgType":                 ErrBadMsgType,
+		"ErrNoPendingHTLC":              ErrNoPendingHTLC,
+		"ErrWrongPreimage":              ErrWrongPreimage,
+		"ErrHTLCOutstanding":            ErrHTLCOutstanding,
+		"ErrSettled":                    ErrSettled,
+		"ErrExitActive":                 ErrExitActive,
+		"ErrNoExit":                     ErrNoExit,
+		"ErrChallengeOpen":              ErrChallengeOpen,
+		"ErrChallengeClosed":            ErrChallengeClosed,
+		"ErrStaleState":                 ErrStaleState,
+		"ErrOverspend":                  ErrOverspend,
+		"ErrWrongTemplate":              ErrWrongTemplate,
+		"ErrWrongReceiver":              ErrWrongReceiver,
+		"ErrUnknownOp":                  ErrUnknownOp,
+		"ErrNotParticipant":             ErrNotParticipant,
+		"ErrRouteTooShort":              ErrRouteTooShort,
+		"ErrRouteChannels":              ErrRouteChannels,
+		"ErrLogCorrupt":                 ErrLogCorrupt,
+	}
+}
 
 // ChannelError carries the structured context of a channel-protocol
 // failure: which operation failed, on which channel, and the canonical

@@ -7,19 +7,16 @@ import (
 
 // TestErrorTaxonomy drives each misuse path of the channel protocol and
 // asserts that the returned error matches the canonical sentinel through
-// errors.Is, matches the deprecated alias, and carries a *ChannelError
-// for errors.As.
+// errors.Is and carries a *ChannelError for errors.As.
 func TestErrorTaxonomy(t *testing.T) {
 	cases := []struct {
-		name  string
-		want  error // canonical sentinel
-		alias error // deprecated name, must keep matching
-		run   func(t *testing.T, s *Scenario, channelID uint64) error
+		name string
+		want error // canonical sentinel
+		run  func(t *testing.T, s *Scenario, channelID uint64) error
 	}{
 		{
-			name:  "stale sequence",
-			want:  ErrStaleSequence,
-			alias: ErrBadSeq,
+			name: "stale sequence",
+			want: ErrStaleSequence,
 			run: func(t *testing.T, s *Scenario, id uint64) error {
 				pay, err := s.Car.Pay(id, 100)
 				if err != nil {
@@ -37,18 +34,16 @@ func TestErrorTaxonomy(t *testing.T) {
 			},
 		},
 		{
-			name:  "overspend",
-			want:  ErrInsufficientChannelBalance,
-			alias: ErrExceedsDeposit,
+			name: "overspend",
+			want: ErrInsufficientChannelBalance,
 			run: func(t *testing.T, s *Scenario, id uint64) error {
 				_, err := s.Car.Pay(id, 10_001) // deposit is 10_000
 				return err
 			},
 		},
 		{
-			name:  "double close",
-			want:  ErrChannelClosed,
-			alias: ErrChannelClosed,
+			name: "double close",
+			want: ErrChannelClosed,
 			run: func(t *testing.T, s *Scenario, id uint64) error {
 				if _, err := s.Car.CloseChannel(id); err != nil {
 					t.Fatal(err)
@@ -64,9 +59,8 @@ func TestErrorTaxonomy(t *testing.T) {
 			},
 		},
 		{
-			name:  "bad signature",
-			want:  ErrSignature,
-			alias: ErrBadSigner,
+			name: "bad signature",
+			want: ErrSignature,
 			run: func(t *testing.T, s *Scenario, id uint64) error {
 				pay, err := s.Car.Pay(id, 100)
 				if err != nil {
@@ -89,9 +83,8 @@ func TestErrorTaxonomy(t *testing.T) {
 			},
 		},
 		{
-			name:  "unknown channel",
-			want:  ErrUnknownChannel,
-			alias: ErrNoChannel,
+			name: "unknown channel",
+			want: ErrUnknownChannel,
 			run: func(t *testing.T, s *Scenario, id uint64) error {
 				_, err := s.Car.Pay(id+9999, 1)
 				return err
@@ -119,9 +112,6 @@ func TestErrorTaxonomy(t *testing.T) {
 			}
 			if !errors.Is(got, tc.want) {
 				t.Errorf("errors.Is(%v, %v) = false", got, tc.want)
-			}
-			if !errors.Is(got, tc.alias) {
-				t.Errorf("deprecated alias no longer matches: %v vs %v", got, tc.alias)
 			}
 			var cerr *ChannelError
 			if !errors.As(got, &cerr) {

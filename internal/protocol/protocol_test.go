@@ -244,11 +244,11 @@ func TestPayValidations(t *testing.T) {
 	if _, err := s.Lot.AcceptChannel(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Car.Pay(99, 10); !errors.Is(err, ErrNoChannel) {
-		t.Fatalf("got %v, want ErrNoChannel", err)
+	if _, err := s.Car.Pay(99, 10); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("got %v, want ErrUnknownChannel", err)
 	}
-	if _, err := s.Car.Pay(cs.ID, 2_000); !errors.Is(err, ErrExceedsDeposit) {
-		t.Fatalf("got %v, want ErrExceedsDeposit", err)
+	if _, err := s.Car.Pay(cs.ID, 2_000); !errors.Is(err, ErrInsufficientChannelBalance) {
+		t.Fatalf("got %v, want ErrInsufficientChannelBalance", err)
 	}
 }
 
@@ -268,8 +268,8 @@ func TestReceiveRejectsReplayedPayment(t *testing.T) {
 	if _, err := s.Car.Radio.Send(s.Lot.Address(), EncodePayment(pay)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Lot.ReceivePayment(); !errors.Is(err, ErrBadSeq) {
-		t.Fatalf("replayed payment got %v, want ErrBadSeq", err)
+	if _, err := s.Lot.ReceivePayment(); !errors.Is(err, ErrStaleSequence) {
+		t.Fatalf("replayed payment got %v, want ErrStaleSequence", err)
 	}
 }
 
@@ -292,8 +292,8 @@ func TestReceiveRejectsForgedPayment(t *testing.T) {
 	if _, err := s.Car.Radio.Send(s.Lot.Address(), EncodePayment(forged)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Lot.ReceivePayment(); !errors.Is(err, ErrBadSigner) {
-		t.Fatalf("forged payment got %v, want ErrBadSigner", err)
+	if _, err := s.Lot.ReceivePayment(); !errors.Is(err, ErrSignature) {
+		t.Fatalf("forged payment got %v, want ErrSignature", err)
 	}
 }
 

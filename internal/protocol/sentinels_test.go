@@ -1,0 +1,76 @@
+package protocol
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// declaredSentinels parses every non-test source file of the package
+// and returns the names of all exported package-level Err* variables.
+func declaredSentinels(t *testing.T) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	names := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, e.Name(), nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", e.Name(), err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, ident := range vs.Names {
+					if strings.HasPrefix(ident.Name, "Err") && ident.IsExported() {
+						names[ident.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// TestSentinelRegistryComplete pins Sentinels() to the source: every
+// exported Err* declared in the package must be registered, and every
+// registry entry must correspond to a declared sentinel. Adding a new
+// error without registering it fails here; the RPC layer's own
+// exhaustiveness test walks the registry, so the wire-kind mapping
+// fails next if that is missing too.
+func TestSentinelRegistryComplete(t *testing.T) {
+	declared := declaredSentinels(t)
+	if len(declared) == 0 {
+		t.Fatal("no exported sentinels found in package source")
+	}
+	reg := Sentinels()
+	for name := range declared {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("exported sentinel %s is not registered in Sentinels()", name)
+		}
+	}
+	for name, err := range reg {
+		if !declared[name] {
+			t.Errorf("Sentinels() lists %s, which is not declared in the package", name)
+		}
+		if err == nil {
+			t.Errorf("Sentinels()[%q] is nil", name)
+		}
+	}
+}

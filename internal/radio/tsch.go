@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"tinyevm/internal/device"
@@ -80,14 +81,19 @@ type Message struct {
 }
 
 // Network is a single TSCH broadcast domain joining two or more nodes.
+// Frame counters are atomic: disjoint node pairs may transmit
+// concurrently under the service's sharded hot path, and the shared
+// network object must not be the thing that races. (The loss RNG stays
+// plain — when LossRate > 0 the service collapses to a single shard so
+// the RNG consumption order matches the journal.)
 type Network struct {
 	cfg   Config
 	rng   *rand.Rand
 	nodes map[types.Address]*Endpoint
 
 	// stats
-	framesSent uint64
-	framesLost uint64
+	framesSent atomic.Uint64
+	framesLost atomic.Uint64
 }
 
 // NewNetwork creates a network with the given config; seed fixes the loss
@@ -101,10 +107,10 @@ func NewNetwork(cfg Config, seed int64) *Network {
 }
 
 // FramesSent returns the total frames transmitted (including retries).
-func (n *Network) FramesSent() uint64 { return n.framesSent }
+func (n *Network) FramesSent() uint64 { return n.framesSent.Load() }
 
 // FramesLost returns the number of frames the loss process dropped.
-func (n *Network) FramesLost() uint64 { return n.framesLost }
+func (n *Network) FramesLost() uint64 { return n.framesLost.Load() }
 
 // Endpoint is one device's attachment to the network.
 type Endpoint struct {
@@ -229,10 +235,10 @@ func (ep *Endpoint) sendFrame(dst *Endpoint, chunk int) error {
 		ep.dev.SpendTX(air, "frame tx")
 		dst.dev.SpendRX(air, "frame rx")
 
-		ep.net.framesSent++
+		ep.net.framesSent.Add(1)
 		lost := cfg.LossRate > 0 && ep.net.rng.Float64() < cfg.LossRate
 		if lost {
-			ep.net.framesLost++
+			ep.net.framesLost.Add(1)
 			// Sender listens for the ACK that never comes.
 			ep.dev.SpendRX(cfg.RxGuard+ackAir, "ack timeout")
 			continue

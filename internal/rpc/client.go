@@ -289,6 +289,15 @@ func (c *Client) NodeStatus(ctx context.Context) (NodeStatus, error) {
 	return out, err
 }
 
+// ServiceStats returns the sharded hot path's statistics: stripe
+// count, per-stripe pending ops, seal-pipeline depth, journal sequence
+// and node count.
+func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
+	var out ServiceStats
+	err := c.Call(ctx, "tinyevm_serviceStats", nil, &out)
+	return out, err
+}
+
 // BlockHash returns the hex hash of the sealed block at a height.
 func (c *Client) BlockHash(ctx context.Context, number uint64) (string, error) {
 	var out struct {

@@ -1,0 +1,57 @@
+package rpc
+
+import (
+	"errors"
+	"testing"
+
+	"tinyevm/internal/protocol"
+)
+
+// TestErrorKindsExhaustive asserts that the wire-kind table covers the
+// complete protocol sentinel taxonomy in both directions: every entry
+// of protocol.Sentinels() maps to a non-empty stable kind, and that
+// kind rebuilds the identical sentinel. A protocol error added without
+// an errorKinds entry fails here (and protocol's own registry test
+// fails first if it isn't registered at all).
+func TestErrorKindsExhaustive(t *testing.T) {
+	for name, sentinel := range protocol.Sentinels() {
+		kind := KindOf(sentinel)
+		if kind == "" {
+			t.Errorf("protocol.%s has no wire kind mapping", name)
+			continue
+		}
+		back := sentinelOf(kind)
+		if back == nil {
+			t.Errorf("kind %q (protocol.%s) does not map back to a sentinel", kind, name)
+			continue
+		}
+		if !errors.Is(back, sentinel) || !errors.Is(sentinel, back) {
+			t.Errorf("kind %q round-trips protocol.%s to a different sentinel: %v", kind, name, back)
+		}
+	}
+}
+
+// TestErrorKindsStable pins table hygiene: kinds are unique (a kind
+// that appeared twice would silently shadow one sentinel's rebuild)
+// and non-empty, and wrapped errors match their sentinel's kind.
+func TestErrorKindsStable(t *testing.T) {
+	seen := make(map[string]error)
+	for _, ek := range errorKinds {
+		if ek.kind == "" {
+			t.Errorf("empty kind for %v", ek.err)
+		}
+		if prev, dup := seen[ek.kind]; dup {
+			t.Errorf("kind %q mapped to both %v and %v", ek.kind, prev, ek.err)
+		}
+		seen[ek.kind] = ek.err
+	}
+
+	wrapped := protocol.Sentinels()["ErrStaleSequence"]
+	if got := KindOf(wrapExample(wrapped)); got != "stale-sequence" {
+		t.Errorf("wrapped sentinel kind = %q, want stale-sequence", got)
+	}
+}
+
+func wrapExample(err error) error {
+	return &protocol.ChannelError{Op: "pay", Channel: 7, Err: err}
+}

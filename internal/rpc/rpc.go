@@ -92,6 +92,14 @@ var errorKinds = []struct {
 	{protocol.ErrNoExit, "no-exit"},
 	{protocol.ErrSettled, "settled"},
 	{protocol.ErrBadMessage, "bad-message"},
+	{protocol.ErrBadMsgType, "bad-message-type"},
+	{protocol.ErrWrongTemplate, "wrong-template"},
+	{protocol.ErrWrongReceiver, "wrong-receiver"},
+	{protocol.ErrUnknownOp, "unknown-op"},
+	{protocol.ErrNotParticipant, "not-participant"},
+	{protocol.ErrRouteTooShort, "route-too-short"},
+	{protocol.ErrRouteChannels, "route-channels"},
+	{protocol.ErrLogCorrupt, "log-corrupt"},
 	{radio.ErrLinkFailure, "link-failure"},
 	{tinyevm.ErrUnknownNode, "unknown-node"},
 	{tinyevm.ErrServiceClosed, "service-closed"},
@@ -210,7 +218,9 @@ type Receipt struct {
 }
 
 // NodeStatus is the wire form of a daemon's cluster view. A standalone
-// gateway reports role "standalone" with zero peers.
+// gateway reports role "standalone" with zero peers. The shard and
+// pipeline fields are additive — the pre-shard response shape is a
+// strict subset, so existing clients keep decoding.
 type NodeStatus struct {
 	Height    uint64 `json:"height"`
 	Head      string `json:"head"`
@@ -219,15 +229,25 @@ type NodeStatus struct {
 	Validator string `json:"validator,omitempty"`
 	Leader    string `json:"leader,omitempty"`
 	Pool      int    `json:"pool,omitempty"`
+
+	// Shards is the service's lock-stripe count; PendingOps counts the
+	// pairwise ops queued on or holding each stripe; PipelineDepth is
+	// the number of sealed blocks whose WAL commit is still in flight.
+	Shards        int   `json:"shards,omitempty"`
+	PendingOps    []int `json:"pendingOps,omitempty"`
+	PipelineDepth int   `json:"pipelineDepth,omitempty"`
 }
 
 func toNodeStatus(st tinyevm.NodeStatus) NodeStatus {
 	out := NodeStatus{
-		Height: st.Height,
-		Head:   st.Head.Hex(),
-		Peers:  st.Peers,
-		Role:   st.Role,
-		Pool:   st.Pool,
+		Height:        st.Height,
+		Head:          st.Head.Hex(),
+		Peers:         st.Peers,
+		Role:          st.Role,
+		Pool:          st.Pool,
+		Shards:        st.Shards,
+		PendingOps:    st.PendingOps,
+		PipelineDepth: st.PipelineDepth,
 	}
 	if !st.Validator.IsZero() {
 		out.Validator = st.Validator.Hex()
@@ -236,6 +256,28 @@ func toNodeStatus(st tinyevm.NodeStatus) NodeStatus {
 		out.Leader = st.Leader.Hex()
 	}
 	return out
+}
+
+// ServiceStats is the wire form of the sharded hot path's statistics
+// (tinyevm_serviceStats).
+type ServiceStats struct {
+	Shards        int   `json:"shards"`
+	ShardPending  []int `json:"shardPending"`
+	PipelineDepth int   `json:"pipelineDepth"`
+	// Ops is the next journal sequence number (0 without a store).
+	Ops uint64 `json:"ops"`
+	// Nodes is the registered node count.
+	Nodes int `json:"nodes"`
+}
+
+func toServiceStats(st tinyevm.ServiceStats) ServiceStats {
+	return ServiceStats{
+		Shards:        st.Shards,
+		ShardPending:  st.ShardPending,
+		PipelineDepth: st.PipelineDepth,
+		Ops:           st.Ops,
+		Nodes:         st.Nodes,
+	}
 }
 
 // Event is the wire form of a service event.

@@ -20,6 +20,9 @@ import (
 // maxBody bounds a request body (1 MiB).
 const maxBody = 1 << 20
 
+// maxBatch bounds the number of calls in one JSON-RPC batch request.
+const maxBatch = 4096
+
 // maxPollTimeout caps a long-poll wait.
 const maxPollTimeout = 30 * time.Second
 
@@ -31,7 +34,8 @@ const maxPollTimeout = 30 * time.Second
 const DefaultSensorValue = 2150
 
 // Server serves the TinyEVM service over JSON-RPC 2.0. It implements
-// http.Handler; every request is a POST with a single JSON-RPC call.
+// http.Handler; every request is a POST carrying either a single
+// JSON-RPC call or a batch (a JSON array of calls, per the spec).
 type Server struct {
 	svc *tinyevm.Service
 
@@ -85,6 +89,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, nil, nil, &Error{Code: codeParse, Message: err.Error()})
 		return
 	}
+	s.mu.Lock()
+	s.sweepLocked(time.Now())
+	s.mu.Unlock()
+	if isBatch(body) {
+		s.serveBatch(w, r, body)
+		return
+	}
 	var req request
 	if err := json.Unmarshal(body, &req); err != nil {
 		s.reply(w, nil, nil, &Error{Code: codeParse, Message: "parse error: " + err.Error()})
@@ -94,25 +105,108 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.reply(w, req.ID, nil, &Error{Code: codeInvalidRequest, Message: "invalid request"})
 		return
 	}
-	s.mu.Lock()
-	s.sweepLocked(time.Now())
-	s.mu.Unlock()
 	result, rpcErr := s.dispatch(r.Context(), req.Method, req.Params)
 	s.reply(w, req.ID, result, rpcErr)
 }
 
-func (s *Server) reply(w http.ResponseWriter, id json.RawMessage, result any, rpcErr *Error) {
-	resp := response{Version: "2.0", ID: id}
-	if rpcErr != nil {
-		resp.Error = rpcErr
-	} else {
-		raw, err := json.Marshal(result)
-		if err != nil {
-			resp.Error = &Error{Code: codeServer, Message: err.Error()}
-		} else {
-			resp.Result = raw
+// isBatch reports whether the body's first non-whitespace byte opens a
+// JSON array (a JSON-RPC 2.0 batch call).
+func isBatch(body []byte) bool {
+	for _, b := range body {
+		switch b {
+		case ' ', '\t', '\r', '\n':
+			continue
+		default:
+			return b == '['
 		}
 	}
+	return false
+}
+
+// serveBatch handles a JSON-RPC 2.0 batch: the entries execute as
+// concurrent tasks (the spec explicitly allows any processing order,
+// and the sharded service turns that freedom into real parallelism —
+// payments on disjoint channel pairs in one batch proceed under
+// different shard locks), while the response array preserves the
+// request order entry-for-entry. Notifications (entries without an id)
+// are executed but produce no response entry; a batch of only
+// notifications yields 204 No Content, per spec.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, body []byte) {
+	var raws []json.RawMessage
+	if err := json.Unmarshal(body, &raws); err != nil {
+		s.reply(w, nil, nil, &Error{Code: codeParse, Message: "parse error: " + err.Error()})
+		return
+	}
+	if len(raws) == 0 {
+		s.reply(w, nil, nil, &Error{Code: codeInvalidRequest, Message: "empty batch"})
+		return
+	}
+	if len(raws) > maxBatch {
+		s.reply(w, nil, nil, &Error{Code: codeInvalidRequest, Message: fmt.Sprintf("batch exceeds %d calls", maxBatch)})
+		return
+	}
+
+	responses := make([]*response, len(raws))
+	var wg sync.WaitGroup
+	for i, raw := range raws {
+		wg.Add(1)
+		go func(i int, raw json.RawMessage) {
+			defer wg.Done()
+			responses[i] = s.handleOne(r.Context(), raw)
+		}(i, raw)
+	}
+	wg.Wait()
+
+	out := make([]response, 0, len(responses))
+	for _, resp := range responses {
+		if resp != nil {
+			out = append(out, *resp)
+		}
+	}
+	if len(out) == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // client gone
+}
+
+// handleOne executes one batch entry and builds its response; nil for
+// notifications (no id) and malformed non-object entries get the
+// per-entry error object the spec prescribes.
+func (s *Server) handleOne(ctx context.Context, raw json.RawMessage) *response {
+	var req request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return buildResponse(nil, nil, &Error{Code: codeInvalidRequest, Message: "invalid request: " + err.Error()})
+	}
+	if req.Version != "2.0" || req.Method == "" {
+		return buildResponse(req.ID, nil, &Error{Code: codeInvalidRequest, Message: "invalid request"})
+	}
+	result, rpcErr := s.dispatch(ctx, req.Method, req.Params)
+	if len(req.ID) == 0 {
+		return nil // notification: executed, never answered
+	}
+	return buildResponse(req.ID, result, rpcErr)
+}
+
+// buildResponse assembles one wire response object.
+func buildResponse(id json.RawMessage, result any, rpcErr *Error) *response {
+	resp := &response{Version: "2.0", ID: id}
+	if rpcErr != nil {
+		resp.Error = rpcErr
+		return resp
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		resp.Error = &Error{Code: codeServer, Message: err.Error()}
+		return resp
+	}
+	resp.Result = raw
+	return resp
+}
+
+func (s *Server) reply(w http.ResponseWriter, id json.RawMessage, result any, rpcErr *Error) {
+	resp := buildResponse(id, result, rpcErr)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client gone
 }
@@ -436,6 +530,13 @@ func (s *Server) dispatch(ctx context.Context, method string, params json.RawMes
 			return nil, toError(err)
 		}
 		return toNodeStatus(st), nil
+
+	case "tinyevm_serviceStats":
+		st, err := s.svc.ServiceStats(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toServiceStats(st), nil
 
 	case "tinyevm_blockHash":
 		var in struct {

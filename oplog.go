@@ -160,10 +160,19 @@ func (s *Service) checkMeta(meta serviceMeta) error {
 // logOp journals rec as the next sequence entry. With no store attached
 // it is a no-op. The append happens BEFORE the operation executes;
 // a failed append fails the operation without applying it.
+//
+// The sequencer lock (logMu) makes seq assignment + append atomic, so
+// concurrent sharded operations get dense, crash-consistent sequence
+// numbers. Callers still hold their shard locks (or the exclusive
+// service lock) across logOp AND the subsequent applyLocked, which is
+// what guarantees that conflicting operations are journaled in their
+// execution order — see the linearization argument in shard.go.
 func (s *Service) logOp(rec *opRecord) error {
 	if s.ops == nil {
 		return nil
 	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
 	rec.Seq = s.opSeq
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -176,10 +185,15 @@ func (s *Service) logOp(rec *opRecord) error {
 	return nil
 }
 
-// run executes one journaled operation: serialize on the service lock,
+// run executes one journaled operation. Pairwise operations go down
+// the sharded hot path (read lock + shard stripes, see shard.go);
+// everything else serializes on the exclusive service lock. Both paths
 // append the intent record, apply, then surface any persistence error
 // the chain latched while sealing.
 func (s *Service) run(ctx context.Context, rec *opRecord) (opResult, error) {
+	if opIsSharded(rec.Op) {
+		return s.runSharded(ctx, rec)
+	}
 	var res opResult
 	err := s.do(ctx, func() error {
 		if err := s.logOp(rec); err != nil {
@@ -207,7 +221,7 @@ func (s *Service) replayOps() error {
 			return fmt.Errorf("tinyevm: decoding op record %s: %w", key, err)
 		}
 		if rec.Seq >= s.opSeq {
-			s.opSeq = rec.Seq + 1
+			s.opSeq = rec.Seq + 1 // single-threaded recovery; no logMu needed
 		}
 		// The op's own outcome is deterministic and may legitimately be
 		// an error (it failed the first time too); replay divergence is
@@ -228,10 +242,16 @@ func (s *Service) replayOps() error {
 	return nil
 }
 
-// applyLocked dispatches one operation. It must run with the service
-// lock held (or during single-threaded recovery) and contains the ONLY
-// implementation of every journaled operation — the live path and the
-// replay path cannot drift apart.
+// applyLocked dispatches one operation. It must run with the locks of
+// its path held — the exclusive service lock for global operations, or
+// the read lock plus the pair's shard stripes for pairwise ones (or
+// during single-threaded recovery, where no locks are needed) — and
+// contains the ONLY implementation of every journaled operation: the
+// live path and the replay path cannot drift apart. Pairwise cases
+// dispatch wire traffic scoped to their own pair (opScope); because
+// every operation fully drains the messages it generates, all inboxes
+// are empty between operations and pair-scoped dispatch delivers
+// exactly what a global sweep would.
 func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 	var res opResult
 	switch rec.Op {
@@ -270,7 +290,7 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 			Channel: cs.ID, Peer: cs.Peer, Amount: cs.Deposit,
 		})
 		res.channel = *cs
-		return res, deliveryErr(s.dispatch())
+		return res, deliveryErr(s.dispatch(s.opScope(rec, sn)))
 
 	case opPay:
 		sn, err := s.nodeLocked(rec.Node)
@@ -281,7 +301,7 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		if err != nil {
 			return res, err
 		}
-		return res, deliveryErr(s.dispatch())
+		return res, deliveryErr(s.dispatch(s.opScope(rec, sn)))
 
 	case opPayConditional:
 		sn, err := s.nodeLocked(rec.Node)
@@ -296,7 +316,7 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		if err != nil {
 			return res, err
 		}
-		return res, deliveryErr(s.dispatch())
+		return res, deliveryErr(s.dispatch(s.opScope(rec, sn)))
 
 	case opClaim:
 		sn, err := s.nodeLocked(rec.Node)
@@ -311,7 +331,7 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		if err != nil {
 			return res, err
 		}
-		return res, deliveryErr(s.dispatch())
+		return res, deliveryErr(s.dispatch(s.opScope(rec, sn)))
 
 	case opClose:
 		sn, err := s.nodeLocked(rec.Node)
@@ -321,7 +341,7 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		if _, err := sn.n.CloseChannel(rec.Channel); err != nil {
 			return res, err
 		}
-		errs := s.dispatch()
+		errs := s.dispatch(s.opScope(rec, sn))
 		cs, ok := sn.n.Channel(rec.Channel)
 		if !ok || cs.Final == nil {
 			if len(errs) > 0 {
@@ -363,7 +383,7 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		if err != nil {
 			return res, err
 		}
-		return res, deliveryErr(s.dispatch())
+		return res, deliveryErr(s.dispatch(s.opScope(rec, sn)))
 
 	case opDeposit:
 		return s.applyChainOp(rec.Node, func(sn *ServiceNode, ts protocol.TxSender) (*Receipt, error) {
@@ -465,7 +485,7 @@ func (s *Service) applyRoute(rec *opRecord, secret Secret) (opResult, error) {
 	lock, err := protocol.RoutePaymentWithSecret(hops, recv.n.Party, rec.Amount, rec.Fee, secret)
 	res.lock = lock
 	if err != nil {
-		s.dispatch()
+		s.dispatch(nil)
 		return res, err
 	}
 	// The route consumed its wire messages lockstep internally, so
@@ -490,7 +510,7 @@ func (s *Service) applyRoute(rec *opRecord, secret Secret) (opResult, error) {
 			Seq: pcs.Seq, Payment: pcs.LastPayment,
 		})
 	}
-	return res, firstErr(s.dispatch())
+	return res, firstErr(s.dispatch(nil))
 }
 
 // applyChainOp runs one on-chain operation for the named node and
@@ -506,7 +526,9 @@ func (s *Service) applyChainOp(node string, fn func(*ServiceNode, protocol.TxSen
 	return res, err
 }
 
-// nodeLocked resolves a node name under the service lock.
+// nodeLocked resolves a node name under the calling path's locks (the
+// node table is only mutated while the exclusive lock is held, so a
+// read-locked sharded op may look up freely).
 func (s *Service) nodeLocked(name string) (*ServiceNode, error) {
 	sn, ok := s.nodes[name]
 	if !ok {

