@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench bench-smoke bench-report bench-gate recover-e2e load-smoke cluster-smoke shard-contention docs-check
+.PHONY: all build test lint test-fusion-off bench bench-smoke bench-report bench-gate recover-e2e load-smoke cluster-smoke shard-contention docs-check
 
 all: build lint test
 
@@ -12,6 +12,12 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Fusion-off matrix leg — what the CI "Race tests with fusion disabled"
+# step runs: the EVM and engine suites under pure tier-0 dispatch, so a
+# superinstruction bug cannot hide behind the default-on configuration.
+test-fusion-off:
+	TINYEVM_FUSION=off $(GO) test -race ./internal/evm/... ./internal/engine/...
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,9 +35,10 @@ bench-smoke:
 	$(GO) run ./cmd/benchtables -table 2 -n 300 -q
 	$(GO) run ./cmd/benchtables -engine -q
 
-# Machine-readable benchmark report (BENCH_<n>.json schema).
+# Machine-readable benchmark report (BENCH_<n>.json schema). Add
+# -profile-ops to include per-opcode/per-superinstruction hit counts.
 bench-report:
-	$(GO) run ./cmd/benchreport -q -out BENCH_8.json
+	$(GO) run ./cmd/benchreport -q -out BENCH_9.json
 
 # Crash-recovery end-to-end: SIGKILL a real tinyevm-serve -data-dir
 # daemon mid-workload, restart it, and assert the recovered head block,

@@ -9,8 +9,10 @@
 //	go run ./cmd/benchreport -write-baseline testdata/bench-baseline.json
 //
 // The gate fails (exit 1) when any gated benchmark regresses by more
-// than -threshold (default 25%) in ns/op or allocs/op relative to the
-// baseline. Escape hatches, in order of preference:
+// than -threshold (default 25%) in a gated metric (-gate-metrics;
+// ns/op and allocs/op by default, custom units like steps/s gate on
+// drops) relative to the baseline. Escape hatches, in order of
+// preference:
 //
 //  1. Intentional perf change: refresh the baseline with
 //     -write-baseline and commit it alongside the change.
@@ -89,7 +91,8 @@ func main() {
 		rawIn     = flag.String("parse", "", "parse an existing `go test -bench` output file instead of running benchmarks")
 		quietMode = flag.Bool("q", false, "suppress the raw benchmark output")
 		gatePat   = flag.String("gate", gatedBench, "regex of benchmark names the regression gate enforces")
-		gateUnits = flag.String("gate-metrics", "ns/op,allocs/op", "comma-separated metrics the gate enforces; use allocs/op alone when the baseline was measured on different hardware (allocs are machine-deterministic, wall time is not)")
+		gateUnits = flag.String("gate-metrics", "ns/op,allocs/op", "comma-separated metrics the gate enforces; custom b.ReportMetric units are looked up in each benchmark's metrics map, and units ending in /s (throughput, e.g. steps/s) gate on decreases instead of increases; use allocs/op alone when the baseline was measured on different hardware (allocs are machine-deterministic, wall time is not)")
+		profile   = flag.Bool("profile-ops", false, "run the benchmarks with TINYEVM_PROFILE_OPS=1 so the interpreter reports per-opcode and per-superinstruction hit counts as custom metrics")
 	)
 	flag.Parse()
 
@@ -109,6 +112,9 @@ func main() {
 			"-bench", *bench, "-benchtime", *benchtime,
 			"-count", strconv.Itoa(*count), "-benchmem", *pkg)
 		cmd.Stderr = os.Stderr
+		if *profile {
+			cmd.Env = append(os.Environ(), "TINYEVM_PROFILE_OPS=1")
+		}
 		output, err = cmd.Output()
 		if err != nil {
 			os.Stderr.Write(output)
@@ -331,21 +337,43 @@ func compareReports(base, cur *Report, gate *regexp.Regexp, units map[string]boo
 			fmt.Fprintf(os.Stderr, "benchreport: %s not in baseline (new benchmark, not gated)\n", name)
 			continue
 		}
-		if units["ns/op"] {
-			regressions = append(regressions, checkMetric(name, "ns/op", old.NsPerOp, b.NsPerOp, threshold)...)
-		}
-		if units["allocs/op"] {
-			regressions = append(regressions, checkMetric(name, "allocs/op", old.AllocsPerOp, b.AllocsPerOp, threshold)...)
+		for unit := range units {
+			var oldV, curV float64
+			switch unit {
+			case "ns/op":
+				oldV, curV = old.NsPerOp, b.NsPerOp
+			case "B/op":
+				oldV, curV = old.BytesPerOp, b.BytesPerOp
+			case "allocs/op":
+				oldV, curV = old.AllocsPerOp, b.AllocsPerOp
+			default:
+				// Custom b.ReportMetric units (steps/s, payments/s, ...).
+				// A benchmark that doesn't report the unit has no entry on
+				// either side and is skipped by the oldV <= 0 guard.
+				oldV, curV = old.Metrics[unit], b.Metrics[unit]
+			}
+			regressions = append(regressions, checkMetric(name, unit, oldV, curV, threshold)...)
 		}
 	}
+	sort.Strings(regressions)
 	return regressions
 }
 
+// checkMetric flags a regression past the threshold. Units ending in
+// "/s" are throughputs where higher is better (a regression is a drop);
+// every other unit is a cost where lower is better.
 func checkMetric(name, unit string, old, cur, threshold float64) []string {
 	if old <= 0 {
 		return nil
 	}
 	ratio := cur / old
+	if strings.HasSuffix(unit, "/s") {
+		if ratio < 1-threshold {
+			return []string{fmt.Sprintf("%s: %s %.6g -> %.6g (%+.1f%%, threshold -%.0f%%)",
+				name, unit, old, cur, (ratio-1)*100, threshold*100)}
+		}
+		return nil
+	}
 	if ratio > 1+threshold {
 		return []string{fmt.Sprintf("%s: %s %.6g -> %.6g (%+.1f%%, threshold %.0f%%)",
 			name, unit, old, cur, (ratio-1)*100, threshold*100)}

@@ -1,0 +1,131 @@
+package tinyevm_test
+
+// Differential fuzzer for the tiered interpreter: arbitrary bytecode is
+// executed on two parallel states — one with superinstruction fusion
+// enabled (calling repeatedly so the code is promoted to tier-1 decoded
+// blocks) and one pinned to tier-0 per-opcode dispatch — and every
+// observable of every call must match byte for byte: gas used, error
+// text, return data, step count, stack high-water mark and the state
+// digest after each call. Seeds include the real contract workload
+// runtimes (ERC-20 transfer, counter, donate ledger), hand-assembled
+// control-flow fragments, and raw blobs.
+//
+// Run as a regression test with `go test`, or explore with:
+//
+//	go test -run '^$' -fuzz FuzzFusedVsUnfused .
+import (
+	"bytes"
+	"testing"
+
+	"tinyevm/internal/asm"
+	"tinyevm/internal/eval"
+	"tinyevm/internal/evm"
+	"tinyevm/internal/types"
+	"tinyevm/internal/uint256"
+)
+
+func FuzzFusedVsUnfused(f *testing.F) {
+	for _, runtime := range eval.WorkloadRuntimes() {
+		f.Add(runtime, []byte(nil))
+	}
+	// The erc20 transfer path with real calldata.
+	erc20 := eval.WorkloadRuntimes()["erc20"]
+	to := make([]byte, 32)
+	to[31] = 0x42
+	amt := make([]byte, 32)
+	amt[31] = 1
+	f.Add(erc20, eval.CallData(eval.Selector("transfer(address,uint256)"),
+		[32]byte(to), [32]byte(amt)))
+	f.Add(erc20, eval.CallData(eval.Selector("balanceOf(address)"), [32]byte(to)))
+	// Hand-assembled fragments hitting the fusion patterns.
+	f.Add(asm.MustAssemble(`
+		PUSH 10
+		:loop JUMPDEST
+		PUSH 1
+		SWAP1
+		SUB
+		DUP1
+		PUSH :loop
+		JUMPI
+		PUSH 0
+		MSTORE
+		PUSH 32
+		PUSH 0
+		RETURN
+	`), []byte(nil))
+	f.Add(asm.MustAssemble(`
+		PUSH 3
+		PUSH 4
+		MUL
+		ISZERO
+		PUSH :done
+		JUMPI
+		PUSH 7
+		PUSH 0
+		SSTORE
+		:done JUMPDEST
+		STOP
+	`), []byte{1, 2, 3})
+	// Raw blobs: truncated pushes, invalid opcodes, jump soup.
+	f.Add([]byte{0x60, 0x01, 0x56}, []byte(nil))
+	f.Add([]byte{0x5B, 0x60, 0x00, 0x56}, []byte(nil))
+	f.Add([]byte{0x60, 0xFF, 0x60}, []byte(nil))
+	f.Add([]byte{0xFE, 0x00, 0x5B}, []byte(nil))
+
+	caller := types.MustHexToAddress("0x00000000000000000000000000000000000000f1")
+	target := types.MustHexToAddress("0x00000000000000000000000000000000000000f2")
+
+	f.Fuzz(func(t *testing.T, code, input []byte) {
+		if len(code) > 4096 || len(input) > 512 {
+			return
+		}
+		for _, mode := range []struct {
+			label string
+			cfg   evm.Config
+			gas   uint64
+		}{
+			{"tiny", evm.TinyConfig(), 0},
+			{"full", evm.FullConfig(), 200_000},
+		} {
+			fusedCfg := mode.cfg
+			fusedCfg.DisableFusion = false
+			flatCfg := mode.cfg
+			flatCfg.DisableFusion = true
+
+			fusedState := evm.NewMemState()
+			fusedState.SetCode(target, code)
+			flatState := evm.NewMemState()
+			flatState.SetCode(target, code)
+			fused := evm.New(fusedCfg, fusedState)
+			flat := evm.New(flatCfg, flatState)
+
+			// Enough calls to cross the promotion threshold, so the later
+			// iterations compare a genuine tier-1 execution against tier-0.
+			for i := 0; i < 6; i++ {
+				a := fused.Call(caller, target, input, uint256.NewInt(0), mode.gas)
+				b := flat.Call(caller, target, input, uint256.NewInt(0), mode.gas)
+				if (a.Err == nil) != (b.Err == nil) ||
+					(a.Err != nil && a.Err.Error() != b.Err.Error()) {
+					t.Fatalf("%s call %d: err %v (fused) vs %v (flat)\ncode %x",
+						mode.label, i, a.Err, b.Err, code)
+				}
+				if !bytes.Equal(a.ReturnData, b.ReturnData) {
+					t.Fatalf("%s call %d: return %x (fused) vs %x (flat)\ncode %x",
+						mode.label, i, a.ReturnData, b.ReturnData, code)
+				}
+				if a.GasUsed != b.GasUsed {
+					t.Fatalf("%s call %d: gas %d (fused) vs %d (flat)\ncode %x",
+						mode.label, i, a.GasUsed, b.GasUsed, code)
+				}
+				if a.Stats != b.Stats {
+					t.Fatalf("%s call %d: stats %+v (fused) vs %+v (flat)\ncode %x",
+						mode.label, i, a.Stats, b.Stats, code)
+				}
+				if fusedState.Digest() != flatState.Digest() {
+					t.Fatalf("%s call %d: state digest diverged\ncode %x input %x",
+						mode.label, i, code, input)
+				}
+			}
+		}
+	})
+}

@@ -247,6 +247,18 @@ func donateRuntime() []byte {
 	`, donate, statsSel))
 }
 
+// WorkloadRuntimes returns the assembled runtime bytecode of each
+// contract workload, keyed by workload name. Differential harnesses
+// (the fused-vs-unfused fuzzer, interpreter benchmarks) use these as
+// realistic code corpora without going through chain deployment.
+func WorkloadRuntimes() map[string][]byte {
+	return map[string][]byte{
+		"erc20":      erc20Runtime(),
+		"inccounter": counterRuntime(),
+		"donate":     donateRuntime(),
+	}
+}
+
 // WorkloadParams sizes a contract workload run.
 type WorkloadParams struct {
 	// Accounts is the number of distinct sender accounts.

@@ -1,0 +1,98 @@
+package evm
+
+import "tinyevm/internal/types"
+
+// lruCache is a size-capped LRU map keyed by code hash, shared by the
+// JUMPDEST-analysis cache and the decoded-program cache on MemState. A
+// daemon serving millions of distinct contracts touches an unbounded
+// stream of code blobs; the cap turns both caches into fixed-size
+// working sets instead of monotonically growing maps. Eviction is exact
+// LRU over an intrusive doubly-linked list, so the hot contract
+// population (which is tiny compared to the cap) never churns.
+//
+// lruCache is not safe for concurrent use; callers hold the owning
+// mutex (MemState.analysisMu).
+type lruCache[V any] struct {
+	cap        int
+	entries    map[types.Hash]*lruNode[V]
+	head, tail *lruNode[V] // head = most recently used
+}
+
+type lruNode[V any] struct {
+	key        types.Hash
+	value      V
+	prev, next *lruNode[V]
+}
+
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache[V]{cap: capacity, entries: make(map[types.Hash]*lruNode[V])}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lruCache[V]) get(key types.Hash) (V, bool) {
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(n)
+	return n.value, true
+}
+
+// put inserts or updates key, marks it most recently used, and evicts
+// the least recently used entry when the cache is over capacity.
+func (c *lruCache[V]) put(key types.Hash, value V) {
+	if n, ok := c.entries[key]; ok {
+		n.value = value
+		c.moveToFront(n)
+		return
+	}
+	n := &lruNode[V]{key: key, value: value}
+	c.entries[key] = n
+	c.pushFront(n)
+	if len(c.entries) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *lruCache[V]) len() int { return len(c.entries) }
+
+func (c *lruCache[V]) pushFront(n *lruNode[V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache[V]) unlink(n *lruNode[V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache[V]) moveToFront(n *lruNode[V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

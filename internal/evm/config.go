@@ -1,6 +1,8 @@
 package evm
 
 import (
+	"os"
+
 	"tinyevm/internal/types"
 	"tinyevm/internal/uint256"
 )
@@ -105,6 +107,10 @@ type Config struct {
 	CallDepthLimit int
 	// EnableSensorOpcode turns the 0x0C IoT opcode on.
 	EnableSensorOpcode bool
+	// DisableFusion turns tier-1 execution off: all code runs through
+	// the per-opcode tier-0 dispatch loop, no programs are decoded or
+	// cached. The zero value (fusion on) is the default.
+	DisableFusion bool
 }
 
 // TinyConfig returns the TinyEVM machine configuration from Table I and
@@ -120,6 +126,7 @@ func TinyConfig() Config {
 		StepLimit:          TinyStepLimit,
 		CallDepthLimit:     TinyCallDepth,
 		EnableSensorOpcode: true,
+		DisableFusion:      fusionDisabledByEnv(),
 	}
 }
 
@@ -130,8 +137,15 @@ func FullConfig() Config {
 		StackLimit:     FullStackWords,
 		CodeSizeLimit:  FullCodeLimit,
 		CallDepthLimit: FullCallDepth,
+		DisableFusion:  fusionDisabledByEnv(),
 	}
 }
+
+// fusionDisabledByEnv reads the TINYEVM_FUSION escape hatch: "off"
+// disables tier-1 execution process-wide for configs built after the
+// read. CI's fusion-off test leg uses it; it is read per call (not
+// memoized) so tests can flip it with t.Setenv.
+func fusionDisabledByEnv() bool { return os.Getenv("TINYEVM_FUSION") == "off" }
 
 // BlockContext supplies the blockchain opcodes in ModeFull. In ModeTiny
 // these opcodes are removed and the context is never consulted.

@@ -223,7 +223,7 @@ func TestJumpDestCacheBounded(t *testing.T) {
 		st.JumpDestAnalysis(types.HashData(code), code)
 	}
 	st.analysisMu.Lock()
-	n := len(st.analysis)
+	n := st.analysis.len()
 	st.analysisMu.Unlock()
 	if n > maxAnalysisEntries {
 		t.Fatalf("cache grew to %d entries (ceiling %d)", n, maxAnalysisEntries)

@@ -82,6 +82,13 @@ func WithEngineWorkers(n int) Option {
 	return func(c *serviceConfig) { c.engineWorkers = n }
 }
 
+// WithFusion enables or disables tier-1 superinstruction execution on
+// the service's chain (default on). Results are byte-identical either
+// way; the knob exists for debugging and benchmark comparisons.
+func WithFusion(on bool) Option {
+	return func(c *serviceConfig) { c.core.DisableFusion = !on }
+}
+
 // WithShards sets the number of lock stripes for the pairwise hot path
 // (DefaultShards when unset). n <= 1 collapses the service to a single
 // stripe — every operation serializes, the pre-sharding behavior. A
