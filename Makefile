@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint test-fusion-off bench bench-smoke bench-report bench-gate recover-e2e load-smoke cluster-smoke shard-contention docs-check
+.PHONY: all build test lint test-fusion-off bench bench-smoke bench-report bench-gate recover-e2e load-smoke cluster-smoke store-smoke shard-contention docs-check
 
 all: build lint test
 
@@ -38,7 +38,7 @@ bench-smoke:
 # Machine-readable benchmark report (BENCH_<n>.json schema). Add
 # -profile-ops to include per-opcode/per-superinstruction hit counts.
 bench-report:
-	$(GO) run ./cmd/benchreport -q -out BENCH_9.json
+	$(GO) run ./cmd/benchreport -q -out BENCH_10.json
 
 # Crash-recovery end-to-end: SIGKILL a real tinyevm-serve -data-dir
 # daemon mid-workload, restart it, and assert the recovered head block,
@@ -83,6 +83,16 @@ shard-contention:
 cluster-smoke:
 	$(GO) test -race -v -run TestClusterSmokeE2E . > cluster-smoke.txt 2>&1 || { cat cluster-smoke.txt; exit 1; }
 	cat cluster-smoke.txt
+
+# Store smoke — what the CI store-smoke job runs: a race-enabled e2e
+# running tinyevm-serve on the disk backend (-data-dir, memtable
+# shrunk to force segment flushes and compactions) with checkpoints
+# and the MST state commitment, SIGKILLed mid-compaction-churn and
+# restarted; the recovered head hash and state root must be
+# byte-identical and the restart bounded by the checkpoint tail.
+store-smoke:
+	$(GO) test -race -v -run TestStoreSmokeE2E . > store-smoke.txt 2>&1 || { cat store-smoke.txt; exit 1; }
+	cat store-smoke.txt
 
 # Markdown link check over README and docs/ (offline: files + anchors).
 docs-check:

@@ -176,6 +176,17 @@ type NodeStatus struct {
 	Shards        int
 	PendingOps    []int
 	PipelineDepth int
+
+	// StoreKind names the durable store backend ("" without a store);
+	// Segments and Compactions are its disk-backend vitals; and
+	// CheckpointHeight is the height of the latest state checkpoint
+	// (checkpoint.go). StateRoot is the MST state root hash under
+	// WithMSTCommitment (zero in legacy digest mode).
+	StoreKind        string
+	Segments         int
+	Compactions      uint64
+	CheckpointHeight uint64
+	StateRoot        types.Hash
 }
 
 // NodeStatus returns the current cluster status of this service.
@@ -200,6 +211,20 @@ func (s *Service) NodeStatus(ctx context.Context) (NodeStatus, error) {
 		st.Shards = len(s.shards)
 		st.PendingOps = s.shardPending()
 		st.PipelineDepth = s.sys.Chain.PipelineDepth()
+		if s.ops != nil {
+			if sp, ok := s.ops.(store.StatsProvider); ok {
+				stats := sp.Stats()
+				st.StoreKind = stats.Kind
+				st.Segments = stats.Segments
+				st.Compactions = stats.Compactions
+			} else {
+				st.StoreKind = "custom"
+			}
+			st.CheckpointHeight = s.lastCkptHeight
+		}
+		if root, err := s.sys.Chain.StateRoot(); err == nil {
+			st.StateRoot = root.Hash
+		}
 		return nil
 	})
 	return st, err

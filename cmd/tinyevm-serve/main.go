@@ -52,6 +52,9 @@ func main() {
 		lossRate  = flag.Float64("radio-loss", 0, "per-frame radio loss probability")
 		radioSeed = flag.Int64("radio-seed", 1, "radio loss process seed")
 		dataDir   = flag.String("data-dir", "", "persist the deployment to a write-ahead log in this directory; on restart the previous state (nodes, channels, balances, blocks) is recovered (cluster mode persists the block archive here instead)")
+		backend   = flag.String("backend", "wal", "storage engine under -data-dir: wal (single rewritten log file) or disk (memtable + sorted segments with background compaction)")
+		ckptEvery = flag.Uint64("checkpoint-interval", 64, "write a full state checkpoint every N sealed blocks and prune the folded-in op log, bounding restart time (0 disables; forced off with -radio-loss or cluster mode)")
+		stateMode = flag.String("state-commitment", "digest", "per-block state commitment: digest (legacy full-state hash) or mst (incremental Merkle-sum tree enabling tinyevm_stateProof); a -data-dir store is pinned to the mode that created it")
 
 		// Cluster mode: N daemons form one sidechain (see docs/CLUSTER.md).
 		listen        = flag.String("listen", "", "cluster p2p listen address (enables cluster mode together with -node-key/-validators)")
@@ -100,15 +103,36 @@ func main() {
 	} else {
 		opts = append(opts, tinyevm.WithEngineWorkers(*workers))
 		if *dataDir != "" {
-			opts = append(opts, tinyevm.WithDataDir(*dataDir))
+			opts = append(opts,
+				tinyevm.WithDataDir(*dataDir),
+				tinyevm.WithStoreBackend(*backend),
+				tinyevm.WithCheckpointInterval(*ckptEvery),
+			)
 		}
+	}
+	switch *stateMode {
+	case "digest":
+	case "mst":
+		opts = append(opts, tinyevm.WithMSTCommitment(true))
+	default:
+		fatal(fmt.Errorf("unknown -state-commitment %q (want digest or mst)", *stateMode))
 	}
 	svc, prov, err := tinyevm.NewService(*provider, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer svc.Close()
-	if *dataDir != "" {
+	if *dataDir != "" && !clusterMode {
+		// Recovery observability: where restart work came from (the
+		// checkpoint) and how much was left to replay (the tail). The
+		// bench line is machine-readable (benchreport -parse).
+		ri := svc.RecoveryInfo()
+		fmt.Fprintf(os.Stderr,
+			"tinyevm-serve: recovered state from %s (head block %d, checkpoint height %d, replayed %d tail ops)\n",
+			*dataDir, mustHead(ctx, svc), ri.CheckpointHeight, ri.ReplayedOps)
+		fmt.Fprintf(os.Stderr, "BenchmarkServeRecovery 1 %.3f recovery_ms\n",
+			float64(ri.Duration.Microseconds())/1000)
+	} else if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "tinyevm-serve: recovered state from %s (head block %d)\n",
 			*dataDir, mustHead(ctx, svc))
 	}

@@ -18,6 +18,7 @@ import (
 
 	"tinyevm/internal/evm"
 	"tinyevm/internal/keccak"
+	"tinyevm/internal/mst"
 	"tinyevm/internal/secp256k1"
 	"tinyevm/internal/store"
 	"tinyevm/internal/types"
@@ -193,6 +194,10 @@ type Chain struct {
 	// disableFusion turns tier-1 superinstruction execution off for
 	// every EVM this chain builds (see SetFusion).
 	disableFusion bool
+	// commitMST and smt implement the incremental MST state commitment
+	// (see commit.go); smt is non-nil iff commitMST is set.
+	commitMST bool
+	smt       *mst.Map
 }
 
 // New creates a chain with a genesis block.

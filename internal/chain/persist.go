@@ -179,7 +179,15 @@ func (c *Chain) persistSeal(b *Block, receipts []*Receipt) {
 	if c.StoreErr() != nil {
 		return
 	}
-	rec, err := json.Marshal(encodeBlock(b, receipts, c.state.Digest()))
+	// Drain the dirty delta exactly once, up front: the MST commitment
+	// must fold this seal's delta in before the commitment is computed,
+	// and it must do so on the replay-verify path too (replay keeps the
+	// incremental root in lockstep with the blocks it re-seals).
+	dirty := c.state.TakeDirty()
+	if c.commitMST {
+		c.applyCommitmentDelta(dirty)
+	}
+	rec, err := json.Marshal(encodeBlock(b, receipts, c.stateCommitment()))
 	if err != nil {
 		c.setStoreErr(err)
 		return
@@ -190,9 +198,8 @@ func (c *Chain) persistSeal(b *Block, receipts []*Receipt) {
 		return
 	} else if ok {
 		// Replay over an existing store: verify instead of rewrite. The
-		// delta is identical to what is already persisted, so just
-		// reset the tracking.
-		c.state.ClearDirty()
+		// delta is identical to what is already persisted, so it was
+		// only needed for the commitment update above.
 		if !bytes.Equal(existing, rec) {
 			c.setStoreErr(fmt.Errorf("%w: block %d", ErrStoreMismatch, b.Number))
 		}
@@ -200,7 +207,7 @@ func (c *Chain) persistSeal(b *Block, receipts []*Receipt) {
 	}
 
 	batch := c.kv.Batch()
-	for _, addr := range c.state.TakeDirty() {
+	for _, addr := range dirty {
 		if !c.state.Exists(addr) {
 			batch.Delete(acctKey(addr))
 			continue
@@ -257,14 +264,16 @@ func NewFromStore(kv store.KVStore) (*Chain, error) {
 	return c, nil
 }
 
-func (c *Chain) restore(kv store.KVStore, head headRecord) error {
-	for n := uint64(1); n <= head.Number; n++ {
+// restoreBlocks loads blocks and receipts 1..upto from kv, verifying
+// parent links and recomputing every block hash.
+func (c *Chain) restoreBlocks(kv store.KVStore, upto uint64) error {
+	for n := uint64(1); n <= upto; n++ {
 		data, ok, err := kv.Get(blockKey(n))
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("chain: store missing block %d (head %d)", n, head.Number)
+			return fmt.Errorf("chain: store missing block %d (want through %d)", n, upto)
 		}
 		var rec blockRecord
 		if err := json.Unmarshal(data, &rec); err != nil {
@@ -285,6 +294,26 @@ func (c *Chain) restore(kv store.KVStore, head headRecord) error {
 			c.receipts[r.TxHash] = r
 		}
 	}
+	return nil
+}
+
+// persistedCommitment loads the state commitment recorded with block n.
+func (c *Chain) persistedCommitment(kv store.KVStore, n uint64) (string, error) {
+	data, ok, err := kv.Get(blockKey(n))
+	if err != nil || !ok {
+		return "", fmt.Errorf("chain: reloading block %d: %v", n, err)
+	}
+	var rec blockRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return "", err
+	}
+	return rec.StateDigest, nil
+}
+
+func (c *Chain) restore(kv store.KVStore, head headRecord) error {
+	if err := c.restoreBlocks(kv, head.Number); err != nil {
+		return err
+	}
 	if got := c.Head().Hash.Hex(); got != head.Hash {
 		return fmt.Errorf("chain: head hash mismatch (stored %s, restored %s)", head.Hash, got)
 	}
@@ -302,16 +331,86 @@ func (c *Chain) restore(kv store.KVStore, head headRecord) error {
 	// The restored state must digest exactly as it did when the head
 	// block was sealed.
 	if head.Number > 0 {
-		data, ok, err := kv.Get(blockKey(head.Number))
-		if err != nil || !ok {
-			return fmt.Errorf("chain: reloading head block: %v", err)
-		}
-		var rec blockRecord
-		if err := json.Unmarshal(data, &rec); err != nil {
+		want, err := c.persistedCommitment(kv, head.Number)
+		if err != nil {
 			return err
 		}
-		if got := c.state.Digest().Hex(); got != rec.StateDigest {
-			return fmt.Errorf("chain: restored state digest %s does not match persisted %s", got, rec.StateDigest)
+		if got := c.state.Digest().Hex(); got != want {
+			return fmt.Errorf("chain: restored state digest %s does not match persisted %s", got, want)
+		}
+	}
+	return nil
+}
+
+// RestoreCheckpoint rebuilds the chain to a checkpoint height: blocks
+// and receipts 1..height come from the attached store (parent-linked,
+// hashes recomputed), the state snapshot is poured in by apply (the
+// service's checkpoint decoder), and the result is verified against
+// block height's persisted state commitment — a snapshot that does not
+// reproduce the commitment the chain sealed at that height fails
+// loudly, before any tail replay runs on top of it.
+//
+// It must run on a freshly attached chain (no blocks beyond genesis,
+// no replay yet). Under the MST commitment the incremental map is
+// rebuilt from the restored state, bit-identical to the map the
+// sealing run maintained.
+func (c *Chain) RestoreCheckpoint(height uint64, apply func(st *evm.MemState) error) error {
+	if c.kv == nil {
+		return errors.New("chain: checkpoint restore needs an attached store")
+	}
+	if len(c.blocks) != 1 {
+		return errors.New("chain: checkpoint restore on a non-fresh chain")
+	}
+	if err := c.restoreBlocks(c.kv, height); err != nil {
+		return err
+	}
+	if err := apply(c.state); err != nil {
+		return err
+	}
+	// The snapshot overwrite is not part of any seal's delta.
+	c.state.ClearDirty()
+	if c.commitMST {
+		c.rebuildCommitment()
+	}
+	if height > 0 {
+		want, err := c.persistedCommitment(c.kv, height)
+		if err != nil {
+			return err
+		}
+		if got := c.stateCommitment().Hex(); got != want {
+			return fmt.Errorf("chain: checkpoint state commitment %s does not match block %d's %s", got, height, want)
+		}
+	}
+	return nil
+}
+
+// SnapshotState encodes the full live account set of st as one
+// deterministic JSON object (address hex -> account record, the same
+// per-account form the acct/ keyspace persists). Only observationally
+// existing accounts are included — exactly the set Digest covers — so
+// restoring the snapshot reproduces the state commitment bit-for-bit.
+func SnapshotState(st *evm.MemState) ([]byte, error) {
+	out := make(map[string]*acctRecord)
+	for _, addr := range st.Addresses() {
+		if !st.Exists(addr) {
+			continue
+		}
+		out[hex.EncodeToString(addr[:])] = encodeAcct(st, addr)
+	}
+	return json.Marshal(out)
+}
+
+// RestoreState decodes a SnapshotState blob into st. Call it on an
+// empty (or freshly Reset) state: accounts present in st but absent
+// from the snapshot are NOT removed.
+func RestoreState(st *evm.MemState, data []byte) error {
+	var recs map[string]*acctRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return fmt.Errorf("chain: decoding state snapshot: %w", err)
+	}
+	for addrHex, rec := range recs {
+		if err := decodeAcctInto(st, addrHex, rec); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -144,6 +144,33 @@ func (s *System) AddNode(name string) (*Node, error) {
 	return s.join(dev, 0)
 }
 
+// RestoreNode rejoins a checkpointed node: the device is recreated
+// with its deterministic identity, apply pours its checkpointed EVM
+// state back (local template copy and channel contracts included), and
+// the protocol party is rebuilt without re-deploying contracts or
+// re-funding the chain account — chain balances return with the chain
+// snapshot. Nodes must be restored in their original join order; the
+// TSCH join order determines radio scheduling. The device's virtual
+// clock and Energest counters restart at zero (every protocol hash and
+// signature is time-free, so replay is unaffected).
+func (s *System) RestoreNode(name string, localTemplate types.Address, apply func(dev *device.Device) error) (*Node, error) {
+	if _, exists := s.nodes[name]; exists {
+		return nil, fmt.Errorf("core: node %q already exists", name)
+	}
+	dev := device.New(name)
+	if apply != nil {
+		if err := apply(dev); err != nil {
+			return nil, fmt.Errorf("core: restoring %s: %w", name, err)
+		}
+	}
+	ep := s.Network.Join(dev)
+	party := protocol.NewRestoredParty(dev, ep, s.Template.Addr, localTemplate)
+	n := &Node{Party: party, name: name}
+	s.nodes[name] = n
+	s.order = append(s.order, n)
+	return n, nil
+}
+
 func (s *System) join(dev *device.Device, _ uint64) (*Node, error) {
 	ep := s.Network.Join(dev)
 	party, err := protocol.NewParty(dev, ep, s.Template.Addr, s.provider)

@@ -3,6 +3,7 @@ package evm
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -496,30 +497,65 @@ func (s *MemState) Addresses() []types.Address {
 // speculative execution converges to the serial result.
 func (s *MemState) Digest() types.Hash {
 	h := keccak.New()
-	var buf [8]byte
 	for _, addr := range s.Addresses() {
 		if !s.Exists(addr) {
 			continue
 		}
-		a := s.accounts[addr]
-		h.Write(addr[:])
-		bal := a.balance.Bytes32()
-		h.Write(bal[:])
-		binary.BigEndian.PutUint64(buf[:], a.nonce)
-		h.Write(buf[:])
-		binary.BigEndian.PutUint64(buf[:], uint64(len(a.code)))
-		h.Write(buf[:])
-		h.Write(a.code)
-		keys := s.StorageKeys(addr)
-		for i := range keys {
-			k := keys[i].Bytes32()
-			h.Write(k[:])
-			v := a.storage[keys[i]]
-			vb := v.Bytes32()
-			h.Write(vb[:])
-		}
+		s.writeAccount(h, addr)
 	}
 	return types.BytesToHash(h.Sum(nil))
+}
+
+// writeAccount streams one live account's canonical encoding — the
+// exact per-account unit Digest hashes — into w. Keeping this shared
+// between Digest and AccountDigest pins the two to the same layout, so
+// the MST state commitment's leaves and the legacy digest can never
+// disagree about what an account's bytes are.
+func (s *MemState) writeAccount(w io.Writer, addr types.Address) {
+	a := s.accounts[addr]
+	var buf [8]byte
+	w.Write(addr[:])
+	bal := a.balance.Bytes32()
+	w.Write(bal[:])
+	binary.BigEndian.PutUint64(buf[:], a.nonce)
+	w.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(len(a.code)))
+	w.Write(buf[:])
+	w.Write(a.code)
+	keys := s.StorageKeys(addr)
+	for i := range keys {
+		k := keys[i].Bytes32()
+		w.Write(k[:])
+		v := a.storage[keys[i]]
+		vb := v.Bytes32()
+		w.Write(vb[:])
+	}
+}
+
+// AccountDigest returns the keccak hash of one live account's canonical
+// encoding — the per-account unit of Digest, used by the chain as the
+// account's MST leaf value. ok is false when the account does not
+// observationally exist (the account would be skipped by Digest).
+func (s *MemState) AccountDigest(addr types.Address) (types.Hash, bool) {
+	if !s.Exists(addr) {
+		return types.Hash{}, false
+	}
+	h := keccak.New()
+	s.writeAccount(h, addr)
+	return types.BytesToHash(h.Sum(nil)), true
+}
+
+// Reset drops every account, returning the state to empty. The code
+// caches and the dirty-tracking configuration survive; any pending
+// dirty set is cleared. Checkpoint recovery uses it to pour a snapshot
+// into a state that already holds freshly initialized accounts —
+// restoring over a wiped state cannot leave stale accounts or storage
+// slots behind.
+func (s *MemState) Reset() {
+	s.accounts = make(map[types.Address]*account)
+	if s.dirty != nil {
+		clear(s.dirty)
+	}
 }
 
 // SelfDestruct implements StateDB.

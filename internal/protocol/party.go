@@ -123,6 +123,47 @@ func NewParty(dev *device.Device, ep *radio.Endpoint, onChainTemplate types.Addr
 	}, nil
 }
 
+// NewRestoredParty wires a device into the protocol WITHOUT deploying
+// anything: the recovery path pours the device's EVM state (local
+// template copy and channel contracts included) back from a checkpoint
+// before calling this, so a deploy would corrupt the restored state.
+// localTemplate is the checkpointed on-device template address; the
+// channel table and side-chain log start empty — install them with
+// RestoreProtocolState.
+func NewRestoredParty(dev *device.Device, ep *radio.Endpoint, onChainTemplate, localTemplate types.Address) *Party {
+	anchor := types.HashConcat([]byte("tinyevm-template-anchor"), onChainTemplate[:])
+	return &Party{
+		Dev:             dev,
+		Radio:           ep,
+		OnChainTemplate: onChainTemplate,
+		LocalTemplate:   localTemplate,
+		Log:             NewSideChain(anchor),
+		channels:        make(map[uint64]*ChannelState),
+		wireIndex:       make(map[ChannelKey]uint64),
+	}
+}
+
+// RestoreProtocolState replaces the party's channel table and
+// side-chain log with checkpointed state. The log entries are verified
+// against the party's anchor; channels install under their recorded
+// local handles (collision remapping already happened when they were
+// first registered).
+func (p *Party) RestoreProtocolState(channels []*ChannelState, log []LogEntry) error {
+	anchor := types.HashConcat([]byte("tinyevm-template-anchor"), p.OnChainTemplate[:])
+	sc, err := RestoreSideChain(anchor, log)
+	if err != nil {
+		return err
+	}
+	p.Log = sc
+	p.channels = make(map[uint64]*ChannelState, len(channels))
+	p.wireIndex = make(map[ChannelKey]uint64, len(channels))
+	for _, cs := range channels {
+		p.channels[cs.ID] = cs
+		p.wireIndex[ChannelKey{Template: cs.Template, Opener: cs.Opener, ID: cs.WireID}] = cs.ID
+	}
+	return nil
+}
+
 // registerChannel stores a channel under a collision-free local handle
 // and indexes its wire identity. It returns the handle.
 func (p *Party) registerChannel(cs *ChannelState) uint64 {

@@ -69,6 +69,18 @@ func NewSideChain(anchor types.Hash) *SideChain {
 	return &SideChain{anchor: anchor}
 }
 
+// RestoreSideChain rebuilds a log from checkpointed entries, verifying
+// every hash link against the anchor before accepting them — a
+// snapshot that was tampered with (or belongs to another template)
+// fails here instead of poisoning later dispute proofs.
+func RestoreSideChain(anchor types.Hash, entries []LogEntry) (*SideChain, error) {
+	s := &SideChain{anchor: anchor, entries: append([]LogEntry(nil), entries...)}
+	if err := s.Verify(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // Append records a new event and returns the entry.
 func (s *SideChain) Append(kind byte, channelID, seq, amount uint64) LogEntry {
 	prev := s.anchor

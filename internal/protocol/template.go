@@ -358,6 +358,105 @@ func (t *Template) FraudChannels(addr types.Address) []uint64 {
 	return out
 }
 
+// --- checkpoint snapshot / restore --------------------------------------
+
+// TemplateDeposit is one locked deposit in a template snapshot.
+type TemplateDeposit struct {
+	Addr   types.Address
+	Amount uint64
+}
+
+// TemplateCommit is one accepted channel state in a template snapshot.
+type TemplateCommit struct {
+	Sender      types.Address
+	ID          uint64
+	State       FinalState
+	SubmittedBy types.Address
+	Block       uint64
+}
+
+// TemplateFraud is one fraud record in a template snapshot.
+type TemplateFraud struct {
+	Addr   types.Address
+	Sender types.Address
+	ID     uint64
+}
+
+// TemplateSnapshot is the template's full mutable state in
+// deterministic order — what the durable service layer checkpoints so
+// recovery can skip replaying the operations that produced it.
+type TemplateSnapshot struct {
+	Deposits []TemplateDeposit
+	Commits  []TemplateCommit
+	Fraud    []TemplateFraud
+	Exit     *ExitRequest
+	Settled  bool
+}
+
+// Snapshot captures the template's mutable state. Deposits and commits
+// come out in address order, fraud records grouped by address in their
+// recorded order, so identical states snapshot identically.
+func (t *Template) Snapshot() TemplateSnapshot {
+	var snap TemplateSnapshot
+	addrs := make([]types.Address, 0, len(t.deposits))
+	for a := range t.deposits {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return bytes.Compare(addrs[i][:], addrs[j][:]) < 0 })
+	for _, a := range addrs {
+		snap.Deposits = append(snap.Deposits, TemplateDeposit{Addr: a, Amount: t.deposits[a]})
+	}
+	for _, key := range t.commitKeys() {
+		cm := t.committed[key]
+		snap.Commits = append(snap.Commits, TemplateCommit{
+			Sender: key.Sender, ID: key.ID,
+			State: cm.State, SubmittedBy: cm.SubmittedBy, Block: cm.Block,
+		})
+	}
+	fraudAddrs := make([]types.Address, 0, len(t.fraud))
+	for a := range t.fraud {
+		fraudAddrs = append(fraudAddrs, a)
+	}
+	sort.Slice(fraudAddrs, func(i, j int) bool { return bytes.Compare(fraudAddrs[i][:], fraudAddrs[j][:]) < 0 })
+	for _, a := range fraudAddrs {
+		for _, k := range t.fraud[a] {
+			snap.Fraud = append(snap.Fraud, TemplateFraud{Addr: a, Sender: k.Sender, ID: k.ID})
+		}
+	}
+	if t.exit != nil {
+		e := *t.exit
+		snap.Exit = &e
+	}
+	snap.Settled = t.settled
+	return snap
+}
+
+// Restore replaces the template's mutable state with a snapshot — the
+// recovery-side inverse of Snapshot, run on a freshly installed
+// template before the operation-log tail replays on top.
+func (t *Template) Restore(snap TemplateSnapshot) {
+	t.deposits = make(map[types.Address]uint64, len(snap.Deposits))
+	for _, d := range snap.Deposits {
+		t.deposits[d.Addr] = d.Amount
+	}
+	t.committed = make(map[commitKey]*Commit, len(snap.Commits))
+	for _, cm := range snap.Commits {
+		t.committed[commitKey{Sender: cm.Sender, ID: cm.ID}] = &Commit{
+			State: cm.State, SubmittedBy: cm.SubmittedBy, Block: cm.Block,
+		}
+	}
+	t.fraud = make(map[types.Address][]commitKey)
+	for _, f := range snap.Fraud {
+		t.fraud[f.Addr] = append(t.fraud[f.Addr], commitKey{Sender: f.Sender, ID: f.ID})
+	}
+	t.exit = nil
+	if snap.Exit != nil {
+		e := *snap.Exit
+		t.exit = &e
+	}
+	t.settled = snap.Settled
+}
+
 // --- transaction builders ----------------------------------------------
 
 // DepositTx builds the calldata for a deposit.

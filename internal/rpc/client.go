@@ -3,6 +3,7 @@ package rpc
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,10 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"tinyevm/internal/chain"
+	"tinyevm/internal/mst"
+	"tinyevm/internal/types"
 )
 
 // Client is a Go client for the TinyEVM JSON-RPC gateway. It is safe
@@ -296,6 +301,101 @@ func (c *Client) ServiceStats(ctx context.Context) (ServiceStats, error) {
 	var out ServiceStats
 	err := c.Call(ctx, "tinyevm_serviceStats", nil, &out)
 	return out, err
+}
+
+// StoreStatus returns the daemon's durable-store status: backend kind,
+// segment/compaction vitals and checkpoint position. Daemons without a
+// store answer with a server error.
+func (c *Client) StoreStatus(ctx context.Context) (StoreStatus, error) {
+	var out StoreStatus
+	err := c.Call(ctx, "tinyevm_storeStatus", nil, &out)
+	return out, err
+}
+
+// StateProof fetches a light-client account proof for address (hex
+// address or node name). The daemon must run the MST state commitment.
+func (c *Client) StateProof(ctx context.Context, address string) (StateProof, error) {
+	var out StateProof
+	err := c.Call(ctx, "tinyevm_stateProof",
+		map[string]string{"address": address}, &out)
+	return out, err
+}
+
+// VerifyStateProof verifies a StateProof end to end on the client
+// side: the account record must re-digest to the proven leaf value,
+// the Merkle path must verify against the root, and the root must fold
+// into exactly p.Commitment. A nil error means the proof is internally
+// sound; the caller completes light-client verification by comparing
+// p.Commitment against a block state commitment obtained from a source
+// it trusts (it is NOT taken from the proving daemon's word).
+func VerifyStateProof(p *StateProof) error {
+	addr, err := types.HexToAddress(p.Address)
+	if err != nil {
+		return fmt.Errorf("rpc: state proof address: %w", err)
+	}
+	digest, err := types.HexToHash(p.AccountDigest)
+	if err != nil {
+		return fmt.Errorf("rpc: state proof digest: %w", err)
+	}
+	account, err := hex.DecodeString(p.Account)
+	if err != nil {
+		return fmt.Errorf("rpc: state proof account record: %w", err)
+	}
+	commitment, err := types.HexToHash(p.Commitment)
+	if err != nil {
+		return fmt.Errorf("rpc: state proof commitment: %w", err)
+	}
+	proof, root, err := decodeMapProof(p)
+	if err != nil {
+		return err
+	}
+	if err := chain.VerifyAccountRecord(addr, account, digest); err != nil {
+		return err
+	}
+	return chain.VerifyAccountProof(commitment, &chain.AccountProof{
+		Address:       addr,
+		AccountDigest: digest,
+		Sum:           p.Sum,
+		Account:       account,
+		Proof:         proof,
+		Root:          root,
+		Commitment:    commitment,
+		Head:          p.Head,
+	})
+}
+
+// decodeMapProof rebuilds the wire proof's Merkle path and root.
+func decodeMapProof(p *StateProof) (mst.MapProof, mst.Root, error) {
+	var (
+		proof mst.MapProof
+		root  mst.Root
+		err   error
+	)
+	if proof.LeftHash, err = types.HexToHash(p.LeftHash); err != nil {
+		return proof, root, fmt.Errorf("rpc: state proof path: %w", err)
+	}
+	if proof.RightHash, err = types.HexToHash(p.RightHash); err != nil {
+		return proof, root, fmt.Errorf("rpc: state proof path: %w", err)
+	}
+	proof.LeftSum, proof.RightSum = p.LeftSum, p.RightSum
+	for _, st := range p.Steps {
+		step := mst.MapProofStep{Sum: st.Sum, SiblingSum: st.SiblingSum, Right: st.Right}
+		if step.Key, err = hex.DecodeString(st.Key); err != nil {
+			return proof, root, fmt.Errorf("rpc: state proof step key: %w", err)
+		}
+		if step.ValueHash, err = types.HexToHash(st.ValueHash); err != nil {
+			return proof, root, fmt.Errorf("rpc: state proof step: %w", err)
+		}
+		if step.SiblingHash, err = types.HexToHash(st.SiblingHash); err != nil {
+			return proof, root, fmt.Errorf("rpc: state proof step: %w", err)
+		}
+		proof.Steps = append(proof.Steps, step)
+	}
+	if root.Hash, err = types.HexToHash(p.RootHash); err != nil {
+		return proof, root, fmt.Errorf("rpc: state proof root: %w", err)
+	}
+	root.Sum = p.RootSum
+	return proof, root, nil
 }
 
 // BlockHash returns the hex hash of the sealed block at a height.

@@ -14,6 +14,7 @@ package rpc
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 
@@ -236,24 +237,138 @@ type NodeStatus struct {
 	Shards        int   `json:"shards,omitempty"`
 	PendingOps    []int `json:"pendingOps,omitempty"`
 	PipelineDepth int   `json:"pipelineDepth,omitempty"`
+
+	// Store/checkpoint vitals (additive; absent without a durable
+	// store): backend kind, disk-segment and compaction counts, latest
+	// checkpoint height. StateRoot is the MST state root hash when the
+	// daemon runs the MST commitment.
+	StoreKind        string `json:"storeKind,omitempty"`
+	Segments         int    `json:"segments,omitempty"`
+	Compactions      uint64 `json:"compactions,omitempty"`
+	CheckpointHeight uint64 `json:"checkpointHeight,omitempty"`
+	StateRoot        string `json:"stateRoot,omitempty"`
 }
 
 func toNodeStatus(st tinyevm.NodeStatus) NodeStatus {
 	out := NodeStatus{
-		Height:        st.Height,
-		Head:          st.Head.Hex(),
-		Peers:         st.Peers,
-		Role:          st.Role,
-		Pool:          st.Pool,
-		Shards:        st.Shards,
-		PendingOps:    st.PendingOps,
-		PipelineDepth: st.PipelineDepth,
+		Height:           st.Height,
+		Head:             st.Head.Hex(),
+		Peers:            st.Peers,
+		Role:             st.Role,
+		Pool:             st.Pool,
+		Shards:           st.Shards,
+		PendingOps:       st.PendingOps,
+		PipelineDepth:    st.PipelineDepth,
+		StoreKind:        st.StoreKind,
+		Segments:         st.Segments,
+		Compactions:      st.Compactions,
+		CheckpointHeight: st.CheckpointHeight,
 	}
 	if !st.Validator.IsZero() {
 		out.Validator = st.Validator.Hex()
 	}
 	if !st.Leader.IsZero() {
 		out.Leader = st.Leader.Hex()
+	}
+	if !st.StateRoot.IsZero() {
+		out.StateRoot = st.StateRoot.Hex()
+	}
+	return out
+}
+
+// StoreStatus is the wire form of the durable store's status
+// (tinyevm_storeStatus).
+type StoreStatus struct {
+	// Kind names the backend: "mem", "wal", "disk" or "custom".
+	Kind string `json:"kind"`
+	// Segments / SegmentBytes / MemtableBytes / Flushes / Compactions
+	// mirror the backend's store.Stats.
+	Segments      int    `json:"segments"`
+	SegmentBytes  int64  `json:"segmentBytes"`
+	MemtableBytes int64  `json:"memtableBytes"`
+	Flushes       uint64 `json:"flushes"`
+	Compactions   uint64 `json:"compactions"`
+	// CheckpointInterval is the configured checkpoint cadence in blocks
+	// (0: disabled); CheckpointHeight/CheckpointSeq locate the latest
+	// written checkpoint.
+	CheckpointInterval uint64 `json:"checkpointInterval"`
+	CheckpointHeight   uint64 `json:"checkpointHeight"`
+	CheckpointSeq      uint64 `json:"checkpointSeq"`
+}
+
+func toStoreStatus(st tinyevm.StoreStatus) StoreStatus {
+	return StoreStatus{
+		Kind:               st.Kind,
+		Segments:           st.Segments,
+		SegmentBytes:       st.SegmentBytes,
+		MemtableBytes:      st.MemtableBytes,
+		Flushes:            st.Flushes,
+		Compactions:        st.Compactions,
+		CheckpointInterval: st.CheckpointInterval,
+		CheckpointHeight:   st.CheckpointHeight,
+		CheckpointSeq:      st.CheckpointSeq,
+	}
+}
+
+// StateProofStep is one ancestor on a state-proof path.
+type StateProofStep struct {
+	Key         string `json:"key"` // hex (an account address)
+	ValueHash   string `json:"valueHash"`
+	Sum         uint64 `json:"sum"`
+	SiblingHash string `json:"siblingHash"`
+	SiblingSum  uint64 `json:"siblingSum"`
+	Right       bool   `json:"right"`
+}
+
+// StateProof is the wire form of a light-client account proof
+// (tinyevm_stateProof). Verify with Client.VerifyStateProof; trust in
+// Commitment comes from comparing it against a block record obtained
+// independently.
+type StateProof struct {
+	Address       string `json:"address"`
+	AccountDigest string `json:"accountDigest"`
+	Sum           uint64 `json:"sum"`
+	// Account is the hex-encoded persisted account record (the digest
+	// preimage the verifier re-hashes).
+	Account string `json:"account"`
+	// The proven node's child digests plus the bottom-up ancestor path.
+	LeftHash  string           `json:"leftHash"`
+	LeftSum   uint64           `json:"leftSum"`
+	RightHash string           `json:"rightHash"`
+	RightSum  uint64           `json:"rightSum"`
+	Steps     []StateProofStep `json:"steps,omitempty"`
+	// RootHash/RootSum are the MST root; Commitment is the folded
+	// digest persisted in block records; Head is the proof's height.
+	RootHash   string `json:"rootHash"`
+	RootSum    uint64 `json:"rootSum"`
+	Commitment string `json:"commitment"`
+	Head       uint64 `json:"head"`
+}
+
+func toStateProof(p *tinyevm.AccountProof) StateProof {
+	out := StateProof{
+		Address:       p.Address.Hex(),
+		AccountDigest: p.AccountDigest.Hex(),
+		Sum:           p.Sum,
+		Account:       hex.EncodeToString(p.Account),
+		LeftHash:      p.Proof.LeftHash.Hex(),
+		LeftSum:       p.Proof.LeftSum,
+		RightHash:     p.Proof.RightHash.Hex(),
+		RightSum:      p.Proof.RightSum,
+		RootHash:      p.Root.Hash.Hex(),
+		RootSum:       p.Root.Sum,
+		Commitment:    p.Commitment.Hex(),
+		Head:          p.Head,
+	}
+	for _, st := range p.Proof.Steps {
+		out.Steps = append(out.Steps, StateProofStep{
+			Key:         hex.EncodeToString(st.Key),
+			ValueHash:   st.ValueHash.Hex(),
+			Sum:         st.Sum,
+			SiblingHash: st.SiblingHash.Hex(),
+			SiblingSum:  st.SiblingSum,
+			Right:       st.Right,
+		})
 	}
 	return out
 }

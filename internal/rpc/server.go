@@ -538,6 +538,33 @@ func (s *Server) dispatch(ctx context.Context, method string, params json.RawMes
 		}
 		return toServiceStats(st), nil
 
+	case "tinyevm_storeStatus":
+		st, ok, err := s.svc.StoreStatus(ctx)
+		if err != nil {
+			return nil, toError(err)
+		}
+		if !ok {
+			return nil, &Error{Code: codeServer, Message: "no durable store configured"}
+		}
+		return toStoreStatus(st), nil
+
+	case "tinyevm_stateProof":
+		var in struct {
+			Address string `json:"address"`
+		}
+		if e := decode(params, &in); e != nil {
+			return nil, e
+		}
+		a, rpcErr := s.addr(in.Address)
+		if rpcErr != nil {
+			return nil, rpcErr
+		}
+		p, err := s.svc.StateProof(ctx, a)
+		if err != nil {
+			return nil, toError(err)
+		}
+		return toStateProof(p), nil
+
 	case "tinyevm_blockHash":
 		var in struct {
 			Number uint64 `json:"number"`

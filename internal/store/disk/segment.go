@@ -1,0 +1,411 @@
+package disk
+
+// Segment files are the immutable sorted runs of the disk backend. A
+// segment is written once by a memtable flush (or a compaction merge)
+// and never modified; readers locate keys through a sparse index and
+// every byte they touch is covered by a CRC, so a torn write, a
+// truncated file or a flipped bit surfaces as ErrCorrupt — never as a
+// silently wrong value.
+//
+// File layout:
+//
+//	magic    "TEVMSEG1" (8 bytes)
+//	entries  one CRC frame per key, in strictly ascending key order:
+//	         frame   = payloadLen u32 LE | crc32(IEEE, payload) u32 LE | payload
+//	         payload = op u8 (1 = put, 2 = tombstone)
+//	                   keyLen u32 LE | key
+//	                   valLen u32 LE | value      (put only)
+//	index    one CRC frame holding every sparseEvery-th entry:
+//	         repeated keyLen u32 LE | key | entryOffset u64 LE
+//	trailer  indexOff u64 LE | indexLen u32 LE | crc32(first 12 bytes) u32 LE
+//
+// The encoding is canonical: for any byte image that parses, re-encoding
+// the parsed entries reproduces the image bit for bit (FuzzSegmentCodec
+// pins this). parseSegment therefore checks everything — magic, every
+// frame checksum, strict key order, exact index contents and that the
+// regions tile the file with no gaps.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+const (
+	segMagic = "TEVMSEG1"
+
+	// frameHeader is payloadLen + crc.
+	frameHeader = 8
+	trailerLen  = 16
+
+	// sparseEvery is the index granularity: every sparseEvery-th entry
+	// is indexed, so a point lookup scans at most sparseEvery frames.
+	sparseEvery = 16
+
+	opPut = 1
+	opDel = 2
+)
+
+// ErrCorrupt wraps every decode failure in the disk backend's files.
+var ErrCorrupt = errors.New("disk: corrupt file")
+
+// segEntry is one decoded segment entry. A tombstone (del) records a
+// deletion that must shadow older segments; its val is nil.
+type segEntry struct {
+	key string
+	val []byte
+	del bool
+}
+
+// frame wraps one payload in the length+checksum frame.
+func frame(payload []byte) []byte {
+	out := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeader:], payload)
+	return out
+}
+
+// readFrame decodes the frame starting at b[off:] and returns its
+// payload and the offset just past it.
+func readFrame(b []byte, off int64) (payload []byte, next int64, err error) {
+	if off < 0 || int64(len(b))-off < frameHeader {
+		return nil, 0, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+	}
+	n := int64(binary.LittleEndian.Uint32(b[off:]))
+	want := binary.LittleEndian.Uint32(b[off+4:])
+	start := off + frameHeader
+	if n > int64(len(b))-start {
+		return nil, 0, fmt.Errorf("%w: frame overruns file", ErrCorrupt)
+	}
+	payload = b[start : start+n]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, 0, fmt.Errorf("%w: frame checksum mismatch", ErrCorrupt)
+	}
+	return payload, start + n, nil
+}
+
+// appendField appends one length-prefixed field.
+func appendField(buf, b []byte) []byte {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(b)))
+	buf = append(buf, n[:]...)
+	return append(buf, b...)
+}
+
+// decodeField decodes one length-prefixed field.
+func decodeField(b []byte) (field, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: short field", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, nil, fmt.Errorf("%w: field overruns payload", ErrCorrupt)
+	}
+	return b[:n], b[n:], nil
+}
+
+// encodeEntry builds one entry payload.
+func encodeEntry(e segEntry) []byte {
+	op := byte(opPut)
+	if e.del {
+		op = opDel
+	}
+	buf := append([]byte(nil), op)
+	buf = appendField(buf, []byte(e.key))
+	if !e.del {
+		buf = appendField(buf, e.val)
+	}
+	return buf
+}
+
+// decodeEntry parses one entry payload; the payload must be consumed
+// exactly.
+func decodeEntry(payload []byte) (segEntry, error) {
+	if len(payload) == 0 {
+		return segEntry{}, fmt.Errorf("%w: empty entry", ErrCorrupt)
+	}
+	op := payload[0]
+	key, rest, err := decodeField(payload[1:])
+	if err != nil {
+		return segEntry{}, err
+	}
+	e := segEntry{key: string(key)}
+	switch op {
+	case opPut:
+		val, rest2, err := decodeField(rest)
+		if err != nil {
+			return segEntry{}, err
+		}
+		if len(rest2) != 0 {
+			return segEntry{}, fmt.Errorf("%w: trailing bytes in entry", ErrCorrupt)
+		}
+		e.val = val
+	case opDel:
+		if len(rest) != 0 {
+			return segEntry{}, fmt.Errorf("%w: trailing bytes in tombstone", ErrCorrupt)
+		}
+		e.del = true
+	default:
+		return segEntry{}, fmt.Errorf("%w: unknown entry op %d", ErrCorrupt, op)
+	}
+	return e, nil
+}
+
+// indexEntry is one sparse-index point: the key at a file offset.
+type indexEntry struct {
+	key string
+	off int64
+}
+
+// encodeSegment builds a complete segment image from entries in
+// strictly ascending key order.
+func encodeSegment(entries []segEntry) []byte {
+	out := []byte(segMagic)
+	var index []indexEntry
+	for i := range entries {
+		if i%sparseEvery == 0 {
+			index = append(index, indexEntry{key: entries[i].key, off: int64(len(out))})
+		}
+		out = append(out, frame(encodeEntry(entries[i]))...)
+	}
+	indexOff := int64(len(out))
+	var ibuf []byte
+	for _, ie := range index {
+		ibuf = appendField(ibuf, []byte(ie.key))
+		var o [8]byte
+		binary.LittleEndian.PutUint64(o[:], uint64(ie.off))
+		ibuf = append(ibuf, o[:]...)
+	}
+	iframe := frame(ibuf)
+	out = append(out, iframe...)
+
+	var tr [trailerLen]byte
+	binary.LittleEndian.PutUint64(tr[0:8], uint64(indexOff))
+	binary.LittleEndian.PutUint32(tr[8:12], uint32(len(iframe)))
+	binary.LittleEndian.PutUint32(tr[12:16], crc32.ChecksumIEEE(tr[0:12]))
+	return append(out, tr[:]...)
+}
+
+// decodeIndex parses the sparse-index payload.
+func decodeIndex(payload []byte) ([]indexEntry, error) {
+	var index []indexEntry
+	for len(payload) > 0 {
+		key, rest, err := decodeField(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("%w: truncated index offset", ErrCorrupt)
+		}
+		off := int64(binary.LittleEndian.Uint64(rest))
+		index = append(index, indexEntry{key: string(key), off: off})
+		payload = rest[8:]
+	}
+	return index, nil
+}
+
+// parseSegment fully decodes and verifies a segment image: every frame
+// checksum, strict key ordering, the trailer, and that the sparse
+// index matches the entries exactly. Any deviation is ErrCorrupt.
+func parseSegment(b []byte) ([]segEntry, error) {
+	if len(b) < len(segMagic)+frameHeader+trailerLen {
+		return nil, fmt.Errorf("%w: segment too short", ErrCorrupt)
+	}
+	if string(b[:len(segMagic)]) != segMagic {
+		return nil, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	tr := b[len(b)-trailerLen:]
+	if crc32.ChecksumIEEE(tr[:12]) != binary.LittleEndian.Uint32(tr[12:16]) {
+		return nil, fmt.Errorf("%w: trailer checksum mismatch", ErrCorrupt)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(tr[0:8]))
+	indexLen := int64(binary.LittleEndian.Uint32(tr[8:12]))
+	if indexOff < int64(len(segMagic)) || indexOff+indexLen != int64(len(b))-trailerLen {
+		return nil, fmt.Errorf("%w: index region out of bounds", ErrCorrupt)
+	}
+	ipayload, iend, err := readFrame(b, indexOff)
+	if err != nil {
+		return nil, err
+	}
+	if iend != indexOff+indexLen {
+		return nil, fmt.Errorf("%w: index frame shorter than region", ErrCorrupt)
+	}
+	index, err := decodeIndex(ipayload)
+	if err != nil {
+		return nil, err
+	}
+
+	var entries []segEntry
+	var want []indexEntry
+	off := int64(len(segMagic))
+	for off < indexOff {
+		payload, next, err := readFrame(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if next > indexOff {
+			return nil, fmt.Errorf("%w: entry overruns index region", ErrCorrupt)
+		}
+		e, err := decodeEntry(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) > 0 && entries[len(entries)-1].key >= e.key {
+			return nil, fmt.Errorf("%w: entries out of order", ErrCorrupt)
+		}
+		if len(entries)%sparseEvery == 0 {
+			want = append(want, indexEntry{key: e.key, off: off})
+		}
+		entries = append(entries, e)
+		off = next
+	}
+	if len(index) != len(want) {
+		return nil, fmt.Errorf("%w: index size mismatch", ErrCorrupt)
+	}
+	for i := range index {
+		if index[i] != want[i] {
+			return nil, fmt.Errorf("%w: index entry mismatch", ErrCorrupt)
+		}
+	}
+	return entries, nil
+}
+
+// segment is one open immutable segment file. The sparse index is held
+// in memory; entry frames are read (and checksum-verified) on demand.
+type segment struct {
+	path    string
+	f       *os.File
+	size    int64
+	dataEnd int64
+	index   []indexEntry
+}
+
+// openSegment opens a segment file and loads its trailer and sparse
+// index (both verified).
+func openSegment(path string) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: opening segment: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("disk: stat segment: %w", err)
+	}
+	size := info.Size()
+	fail := func(err error) (*segment, error) {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if size < int64(len(segMagic))+frameHeader+trailerLen {
+		return fail(fmt.Errorf("%w: segment too short", ErrCorrupt))
+	}
+	magic := make([]byte, len(segMagic))
+	if _, err := f.ReadAt(magic, 0); err != nil || string(magic) != segMagic {
+		return fail(fmt.Errorf("%w: bad segment magic", ErrCorrupt))
+	}
+	var tr [trailerLen]byte
+	if _, err := f.ReadAt(tr[:], size-trailerLen); err != nil {
+		return fail(fmt.Errorf("%w: unreadable trailer", ErrCorrupt))
+	}
+	if crc32.ChecksumIEEE(tr[:12]) != binary.LittleEndian.Uint32(tr[12:16]) {
+		return fail(fmt.Errorf("%w: trailer checksum mismatch", ErrCorrupt))
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(tr[0:8]))
+	indexLen := int64(binary.LittleEndian.Uint32(tr[8:12]))
+	if indexOff < int64(len(segMagic)) || indexOff+indexLen != size-trailerLen {
+		return fail(fmt.Errorf("%w: index region out of bounds", ErrCorrupt))
+	}
+	ibytes := make([]byte, indexLen)
+	if _, err := f.ReadAt(ibytes, indexOff); err != nil {
+		return fail(fmt.Errorf("%w: unreadable index", ErrCorrupt))
+	}
+	ipayload, iend, err := readFrame(ibytes, 0)
+	if err != nil {
+		return fail(err)
+	}
+	if iend != indexLen {
+		return fail(fmt.Errorf("%w: index frame shorter than region", ErrCorrupt))
+	}
+	index, err := decodeIndex(ipayload)
+	if err != nil {
+		return fail(err)
+	}
+	return &segment{path: path, f: f, size: size, dataEnd: indexOff, index: index}, nil
+}
+
+// readEntryAt reads and verifies the entry frame at off, returning the
+// entry and the offset just past its frame.
+func (s *segment) readEntryAt(off int64) (segEntry, int64, error) {
+	var hdr [frameHeader]byte
+	if off < 0 || s.dataEnd-off < frameHeader {
+		return segEntry{}, 0, fmt.Errorf("%s: %w: truncated frame header", s.path, ErrCorrupt)
+	}
+	if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+		return segEntry{}, 0, fmt.Errorf("disk: reading segment: %w", err)
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > s.dataEnd-off-frameHeader {
+		return segEntry{}, 0, fmt.Errorf("%s: %w: frame overruns data region", s.path, ErrCorrupt)
+	}
+	payload := make([]byte, n)
+	if _, err := s.f.ReadAt(payload, off+frameHeader); err != nil {
+		return segEntry{}, 0, fmt.Errorf("disk: reading segment: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return segEntry{}, 0, fmt.Errorf("%s: %w: frame checksum mismatch", s.path, ErrCorrupt)
+	}
+	e, err := decodeEntry(payload)
+	if err != nil {
+		return segEntry{}, 0, fmt.Errorf("%s: %w", s.path, err)
+	}
+	return e, off + frameHeader + n, nil
+}
+
+// get searches the segment for key: binary-search the sparse index,
+// then scan at most sparseEvery frames.
+func (s *segment) get(key []byte) (val []byte, found, deleted bool, err error) {
+	k := string(key)
+	i := sort.Search(len(s.index), func(i int) bool { return s.index[i].key > k }) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	off := s.index[i].off
+	for n := 0; n < sparseEvery && off < s.dataEnd; n++ {
+		e, next, err := s.readEntryAt(off)
+		if err != nil {
+			return nil, false, false, err
+		}
+		switch {
+		case e.key == k:
+			if e.del {
+				return nil, false, true, nil
+			}
+			return e.val, true, false, nil
+		case e.key > k:
+			return nil, false, false, nil
+		}
+		off = next
+	}
+	return nil, false, false, nil
+}
+
+// all reads and fully verifies every entry of the segment — the path
+// used by Iterate and compaction merges.
+func (s *segment) all() ([]segEntry, error) {
+	b, err := os.ReadFile(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("disk: reading segment: %w", err)
+	}
+	entries, err := parseSegment(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.path, err)
+	}
+	return entries, nil
+}

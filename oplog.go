@@ -33,10 +33,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
+	"strconv"
 
 	"tinyevm/internal/protocol"
 	"tinyevm/internal/store"
+	"tinyevm/internal/store/disk"
 	"tinyevm/internal/types"
 )
 
@@ -129,6 +132,12 @@ type serviceMeta struct {
 	ChallengePeriod uint64  `json:"challengePeriod"`
 	RadioSeed       int64   `json:"radioSeed"`
 	RadioLossRate   float64 `json:"radioLossRate"`
+	// StateCommitment is "" for the legacy full-state digest and "mst"
+	// for the incremental Merkle-sum-tree commitment — persisted state
+	// commitments differ between the modes, so a store written in one
+	// refuses to open in the other. Stores from before the knob existed
+	// decode to "" and keep working in digest mode.
+	StateCommitment string `json:"stateCommitment,omitempty"`
 }
 
 const serviceMetaKey = "meta/service"
@@ -204,21 +213,36 @@ func (s *Service) run(ctx context.Context, rec *opRecord) (opResult, error) {
 		if serr := s.sys.Chain.StoreErr(); serr != nil {
 			return fmt.Errorf("tinyevm: persistence failed: %w", serr)
 		}
+		// Exclusive-path ops are the only ones that seal blocks, so this
+		// is the one place the checkpoint cadence can trip. The op's own
+		// error (if any) wins the return; a checkpoint failure surfaces
+		// only when the op itself succeeded.
+		if cerr := s.maybeCheckpointLocked(); cerr != nil && err == nil {
+			err = cerr
+		}
 		return err
 	})
 	return res, err
 }
 
 // replayOps re-applies the journaled operation log against the freshly
-// built system. Operation-level errors are ignored (the original
-// attempt failed identically); decode failures and chain/store
-// divergence abort the recovery.
-func (s *Service) replayOps() error {
+// built (or checkpoint-restored) system, returning how many operations
+// replayed. Records below the checkpoint watermark (s.opSeq, set by
+// restoreFromCheckpoint; 0 without one) are already folded into the
+// snapshot and are skipped — checkpointing prunes them atomically, so
+// normally none exist. Operation-level errors are ignored (the
+// original attempt failed identically); decode failures and
+// chain/store divergence abort the recovery.
+func (s *Service) replayOps() (int, error) {
 	count := 0
+	watermark := s.opSeq
 	err := s.ops.Iterate([]byte(opKeyPrefix), func(key, value []byte) error {
 		var rec opRecord
 		if err := json.Unmarshal(value, &rec); err != nil {
 			return fmt.Errorf("tinyevm: decoding op record %s: %w", key, err)
+		}
+		if rec.Seq < watermark {
+			return nil
 		}
 		if rec.Seq >= s.opSeq {
 			s.opSeq = rec.Seq + 1 // single-threaded recovery; no logMu needed
@@ -231,15 +255,15 @@ func (s *Service) replayOps() error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return count, err
 	}
 	if err := s.sys.Chain.StoreErr(); err != nil {
-		return fmt.Errorf("tinyevm: recovery verification failed after %d ops: %w", count, err)
+		return count, fmt.Errorf("tinyevm: recovery verification failed after %d ops: %w", count, err)
 	}
 	if err := s.sys.Chain.VerifyStoreHead(); err != nil {
-		return fmt.Errorf("tinyevm: recovery verification failed after %d ops: %w", count, err)
+		return count, fmt.Errorf("tinyevm: recovery verification failed after %d ops: %w", count, err)
 	}
-	return nil
+	return count, nil
 }
 
 // applyLocked dispatches one operation. It must run with the locks of
@@ -270,6 +294,11 @@ func (s *Service) applyLocked(rec *opRecord) (opResult, error) {
 		}
 		value := rec.Value
 		sn.n.RegisterSensor(rec.SensorID, func(uint64) (uint64, error) { return value, nil })
+		// Track the registration for checkpoints (closures cannot be
+		// snapshotted; the fixed value can). Sharded op → own lock.
+		s.sensorMu.Lock()
+		s.sensorRegs = append(s.sensorRegs, ckptSensor{Node: rec.Node, ID: rec.SensorID, Value: value})
+		s.sensorMu.Unlock()
 		return res, nil
 
 	case opOpenChannel:
@@ -585,7 +614,26 @@ func decodeFinalState(s string) (*FinalState, error) {
 	return fs, nil
 }
 
-// openDataDir opens the service-owned WAL under dir.
-func openDataDir(dir string) (store.KVStore, error) {
-	return store.OpenWAL(filepath.Join(dir, "tinyevm.wal"))
+// openDataDir opens the service-owned store under dir: the WAL file by
+// default, the embedded disk backend with WithStoreBackend("disk").
+// TINYEVM_DISK_FLUSH_BYTES overrides the disk backend's memtable flush
+// threshold — the store-smoke harness shrinks it to force segment
+// flushes and background compactions within a short workload.
+func openDataDir(dir, backend string) (store.KVStore, error) {
+	switch backend {
+	case "", "wal":
+		return store.OpenWAL(filepath.Join(dir, "tinyevm.wal"))
+	case "disk":
+		var opts []disk.Option
+		if v := os.Getenv("TINYEVM_DISK_FLUSH_BYTES"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("tinyevm: bad TINYEVM_DISK_FLUSH_BYTES %q", v)
+			}
+			opts = append(opts, disk.WithFlushBytes(n))
+		}
+		return disk.Open(filepath.Join(dir, "store"), opts...)
+	default:
+		return nil, fmt.Errorf("tinyevm: unknown store backend %q (want \"wal\" or \"disk\")", backend)
+	}
 }

@@ -1,0 +1,182 @@
+package tinyevm_test
+
+// BenchmarkRecoveryReplay measures cold-start recovery (NewService over
+// an existing journal) and pins the checkpoint contract: with
+// checkpoints the restart cost is a function of the journal tail since
+// the last checkpoint, NOT of chain length — doubling history leaves
+// the checkpointed restart flat while full replay scales linearly.
+// The recovery_ms metric feeds benchreport and the CI bench gate.
+
+import (
+	"context"
+	"testing"
+
+	"tinyevm"
+	"tinyevm/internal/store"
+)
+
+// buildRecoveryHistory journals blocks sealed deposits (each with an
+// off-chain payment in between) into a fresh store and tears the
+// service down, leaving a journal a cold start must recover.
+func buildRecoveryHistory(b *testing.B, blocks int, interval uint64) (*store.Mem, []tinyevm.Option) {
+	b.Helper()
+	kv := store.NewMem()
+	opts := []tinyevm.Option{tinyevm.WithChallengePeriod(6), tinyevm.WithStore(kv)}
+	if interval > 0 {
+		opts = append(opts, tinyevm.WithCheckpointInterval(interval))
+	}
+	svc, hub, err := tinyevm.NewService("hub", opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := hub.RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+		b.Fatal(err)
+	}
+	car, err := svc.AddNode(ctx, "car")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := car.RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+		b.Fatal(err)
+	}
+	ch, err := car.OpenChannel(ctx, hub.Address(), 1_000_000, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < blocks; i++ {
+		if _, err := car.Pay(ctx, ch.ID, 3); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := car.Deposit(ctx, 10); err != nil { // seals one block
+			b.Fatal(err)
+		}
+	}
+	if err := svc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return kv, opts
+}
+
+func BenchmarkRecoveryReplay(b *testing.B) {
+	const interval = 8
+	for _, cfg := range []struct {
+		name   string
+		blocks int
+		ckpt   uint64
+	}{
+		{"full-64", 64, 0},
+		{"full-128", 128, 0},
+		{"checkpointed-64", 64, interval},
+		{"checkpointed-128", 128, interval},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			// Recovery only reads the journal (replay verifies persisted
+			// blocks instead of rewriting them), so every iteration can
+			// cold-start over the same store.
+			kv, opts := buildRecoveryHistory(b, cfg.blocks, cfg.ckpt)
+			var replayed, ckptHeight uint64
+			var recoveryNs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				svc, _, err := tinyevm.NewService("hub", opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ri := svc.RecoveryInfo()
+				if !ri.Recovered {
+					b.Fatal("nothing recovered")
+				}
+				if cfg.ckpt > 0 && ri.CheckpointHeight == 0 {
+					b.Fatal("checkpointed run recovered from genesis")
+				}
+				replayed = uint64(ri.ReplayedOps)
+				ckptHeight = ri.CheckpointHeight
+				recoveryNs += ri.Duration.Nanoseconds()
+				b.StopTimer()
+				if err := svc.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(recoveryNs)/float64(b.N)/1e6, "recovery_ms")
+			b.ReportMetric(float64(replayed), "replayed-ops")
+			b.ReportMetric(float64(ckptHeight), "ckpt-height")
+			_ = kv
+		})
+	}
+}
+
+// TestRecoveryReplayBounded is the functional form of the benchmark's
+// claim, cheap enough for every test run: with a checkpoint the
+// replayed tail stays under one interval's worth of operations however
+// long the chain is, while full replay grows with history.
+func TestRecoveryReplayBounded(t *testing.T) {
+	reopen := func(blocks int, interval uint64) tinyevm.RecoveryInfo {
+		kv := store.NewMem()
+		opts := []tinyevm.Option{tinyevm.WithChallengePeriod(6), tinyevm.WithStore(kv)}
+		if interval > 0 {
+			opts = append(opts, tinyevm.WithCheckpointInterval(interval))
+		}
+		svc, hub, err := tinyevm.NewService("hub", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if err := hub.RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+			t.Fatal(err)
+		}
+		car, err := svc.AddNode(ctx, "car")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := car.RegisterSensorValue(ctx, tinyevm.SensorTemperature, 2150); err != nil {
+			t.Fatal(err)
+		}
+		ch, err := car.OpenChannel(ctx, hub.Address(), 1_000_000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < blocks; i++ {
+			if _, err := car.Pay(ctx, ch.ID, 3); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := car.Deposit(ctx, 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+		svc.Close()
+		svc2, _, err := tinyevm.NewService("hub", opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc2.Close()
+		return svc2.RecoveryInfo()
+	}
+
+	const interval = 8
+	shortCkpt := reopen(24, interval)
+	longCkpt := reopen(72, interval)
+	longFull := reopen(72, 0)
+
+	// Ops per block in this workload: one payment + one deposit, so one
+	// interval's tail is at most ~3x the interval in ops (plus setup).
+	bound := int(interval)*3 + 8
+	for _, ri := range []tinyevm.RecoveryInfo{shortCkpt, longCkpt} {
+		if ri.CheckpointHeight == 0 {
+			t.Fatalf("no checkpoint used: %+v", ri)
+		}
+		if ri.ReplayedOps > bound {
+			t.Fatalf("checkpointed tail %d exceeds interval bound %d (%+v)", ri.ReplayedOps, bound, ri)
+		}
+	}
+	if longCkpt.ReplayedOps > shortCkpt.ReplayedOps+bound {
+		t.Fatalf("checkpointed tail grew with history: %d vs %d", longCkpt.ReplayedOps, shortCkpt.ReplayedOps)
+	}
+	if longFull.ReplayedOps <= 2*72 {
+		t.Fatalf("full replay replayed %d ops for 72 blocks; journal suspiciously short", longFull.ReplayedOps)
+	}
+	if longFull.CheckpointHeight != 0 {
+		t.Fatalf("full replay claims a checkpoint: %+v", longFull)
+	}
+}

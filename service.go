@@ -45,6 +45,9 @@ type serviceConfig struct {
 	clock         func() time.Time
 	kv            store.KVStore
 	dataDir       string
+	backend       string
+	ckptInterval  uint64
+	mstCommit     bool
 	cluster       *ClusterConfig
 }
 
@@ -125,11 +128,48 @@ func WithStore(kv store.KVStore) Option {
 	return func(c *serviceConfig) { c.kv = kv }
 }
 
-// WithDataDir is WithStore over a service-owned write-ahead log at
-// <dir>/tinyevm.wal (created as needed). The service closes it on
-// Close. WithStore, when also given, wins.
+// WithDataDir is WithStore over a service-owned store under dir
+// (created as needed): the write-ahead log at <dir>/tinyevm.wal by
+// default, or the embedded disk backend under <dir>/store with
+// WithStoreBackend("disk"). The service closes it on Close. WithStore,
+// when also given, wins.
 func WithDataDir(dir string) Option {
 	return func(c *serviceConfig) { c.dataDir = dir }
+}
+
+// WithStoreBackend selects the WithDataDir storage engine: "wal" (the
+// default single-file write-ahead log, rewritten on open) or "disk"
+// (the embedded memtable + sorted-segment store with background
+// compaction; see internal/store/disk). It has no effect with an
+// explicit WithStore.
+func WithStoreBackend(kind string) Option {
+	return func(c *serviceConfig) { c.backend = kind }
+}
+
+// WithCheckpointInterval makes a durable deployment write a full state
+// checkpoint every n sealed blocks: recovery then restores the latest
+// checkpoint and replays only the operation tail journaled after it,
+// bounding restart time by checkpoint distance instead of deployment
+// lifetime. The folded-in prefix of the operation log is pruned
+// atomically with each checkpoint. 0 (the default) disables
+// checkpointing — recovery replays the whole log.
+//
+// Checkpoints are automatically disabled under a non-zero radio loss
+// rate (the loss process draws from one seeded RNG whose consumption
+// order a snapshot cannot restore) and under cluster mode.
+func WithCheckpointInterval(n uint64) Option {
+	return func(c *serviceConfig) { c.ckptInterval = n }
+}
+
+// WithMSTCommitment switches the chain's per-block state commitment
+// from the legacy O(n) full-state digest to an incremental
+// Merkle-sum-tree root updated in O(log n) per touched account. Blocks
+// hash identically either way; only the persisted state commitment
+// differs, and a store written in one mode refuses to open in the
+// other. The MST mode additionally serves light-client account proofs
+// (Service.StateProof, tinyevm_stateProof).
+func WithMSTCommitment(on bool) Option {
+	return func(c *serviceConfig) { c.mstCommit = on }
 }
 
 // Service is the concurrency-safe façade over a TinyEVM deployment.
@@ -187,6 +227,24 @@ type Service struct {
 	opSeq   uint64
 	ownedKV store.KVStore
 
+	// Checkpoint bookkeeping (checkpoint.go): the configured cadence,
+	// the height/sequence of the last written checkpoint, and the op
+	// sequence below which the journal has been pruned.
+	ckptInterval   uint64
+	lastCkptHeight uint64
+	lastCkptSeq    uint64
+	opPruned       uint64
+
+	// sensorRegs journals the fixed-value sensor registrations so
+	// checkpoints can re-install them (the handlers are closures and
+	// cannot be snapshotted). opRegisterSensor is a sharded op, so the
+	// slice has its own lock.
+	sensorMu   sync.Mutex
+	sensorRegs []ckptSensor
+
+	// recovery describes what NewService recovered; immutable afterward.
+	recovery RecoveryInfo
+
 	// cluster is the multi-node sidechain binding (nil without
 	// WithCluster); see cluster_service.go.
 	cluster *cluster.Node
@@ -214,14 +272,25 @@ func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, er
 	if err != nil {
 		return nil, nil, err
 	}
+	if cfg.mstCommit {
+		// Before any store attaches: the first persisted seal must
+		// already carry the MST commitment.
+		sys.Chain.EnableMSTCommitment()
+	}
+	if cfg.core.RadioLossRate != 0 || cfg.cluster != nil {
+		// A checkpoint cannot restore the radio RNG's consumption
+		// position, and cluster peers replicate blocks, not snapshots.
+		cfg.ckptInterval = 0
+	}
 	s := &Service{
-		sys:       sys,
-		clock:     cfg.clock,
-		nodes:     make(map[string]*ServiceNode),
-		byAddr:    make(map[Address]*ServiceNode),
-		subs:      make(map[*subscription]struct{}),
-		fraudSeen: make(map[Address]int),
-		shards:    make([]serviceShard, shardCount(cfg)),
+		sys:          sys,
+		clock:        cfg.clock,
+		nodes:        make(map[string]*ServiceNode),
+		byAddr:       make(map[Address]*ServiceNode),
+		subs:         make(map[*subscription]struct{}),
+		fraudSeen:    make(map[Address]int),
+		shards:       make([]serviceShard, shardCount(cfg)),
+		ckptInterval: cfg.ckptInterval,
 	}
 	if cfg.engineWorkers > 1 {
 		s.eng = engine.New(sys.Chain, engine.Options{Workers: cfg.engineWorkers})
@@ -233,18 +302,24 @@ func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, er
 
 	kv := cfg.kv
 	if kv == nil && cfg.dataDir != "" {
-		if kv, err = openDataDir(cfg.dataDir); err != nil {
+		if kv, err = openDataDir(cfg.dataDir, cfg.backend); err != nil {
 			return nil, nil, err
 		}
 		s.ownedKV = kv
 	}
 	if kv != nil {
+		start := time.Now()
 		s.ops = kv
+		commitMode := ""
+		if cfg.mstCommit {
+			commitMode = "mst"
+		}
 		if err := s.checkMeta(serviceMeta{
 			Provider:        providerName,
 			ChallengePeriod: cfg.core.ChallengePeriod,
 			RadioSeed:       cfg.core.RadioSeed,
 			RadioLossRate:   cfg.core.RadioLossRate,
+			StateCommitment: commitMode,
 		}); err != nil {
 			s.closeOwnedStore()
 			return nil, nil, err
@@ -253,10 +328,29 @@ func NewService(providerName string, opts ...Option) (*Service, *ServiceNode, er
 			s.closeOwnedStore()
 			return nil, nil, err
 		}
-		if err := s.replayOps(); err != nil {
+		// Recovery: restore the latest checkpoint when one exists, then
+		// replay the journaled operation tail on top of it.
+		ck, hasCkpt, err := s.loadCheckpoint()
+		if err != nil {
 			s.closeOwnedStore()
 			return nil, nil, err
 		}
+		if hasCkpt {
+			if err := s.restoreFromCheckpoint(ck); err != nil {
+				s.closeOwnedStore()
+				return nil, nil, err
+			}
+			s.recovery.CheckpointHeight = ck.Height
+			s.recovery.CheckpointSeq = ck.Seq
+		}
+		replayed, err := s.replayOps()
+		if err != nil {
+			s.closeOwnedStore()
+			return nil, nil, err
+		}
+		s.recovery.ReplayedOps = replayed
+		s.recovery.Recovered = hasCkpt || replayed > 0
+		s.recovery.Duration = time.Since(start)
 		// Replay ran with synchronous persistence (every seal verified
 		// against the store in lockstep); live mode pipelines WAL commits
 		// so block N+1 can execute while block N persists.
@@ -426,6 +520,129 @@ func (s *Service) TemplateSettled(ctx context.Context) (bool, error) {
 // inspection. It is NOT safe to mutate concurrently with service
 // operations; quiesce the service first.
 func (s *Service) System() *System { return s.sys }
+
+// RecoveryInfo describes what NewService reconstructed from a durable
+// store: whether anything was recovered at all, the checkpoint it
+// started from (zero values when none existed), how many journaled
+// operations replayed on top, and how long the whole recovery took.
+type RecoveryInfo struct {
+	// Recovered reports whether the store held prior history.
+	Recovered bool
+	// CheckpointHeight and CheckpointSeq identify the restored
+	// checkpoint (both zero when recovery replayed the full log).
+	CheckpointHeight uint64
+	CheckpointSeq    uint64
+	// ReplayedOps is the length of the journal tail replayed after the
+	// checkpoint.
+	ReplayedOps int
+	// Duration is the wall-clock recovery time inside NewService.
+	Duration time.Duration
+}
+
+// RecoveryInfo returns what this service recovered at construction.
+// It is immutable after NewService returns.
+func (s *Service) RecoveryInfo() RecoveryInfo { return s.recovery }
+
+// StoreStatus describes the service's durable store: the storage
+// engine under the journal and the checkpoint position. Surfaced over
+// RPC as tinyevm_storeStatus.
+type StoreStatus struct {
+	// Kind names the backend ("mem", "wal", "disk", or "custom" for a
+	// caller-provided store that reports no stats).
+	Kind string
+	// Segments / SegmentBytes / MemtableBytes / Flushes / Compactions
+	// mirror store.Stats for the backend.
+	Segments      int
+	SegmentBytes  int64
+	MemtableBytes int64
+	Flushes       uint64
+	Compactions   uint64
+	// CheckpointInterval is the configured cadence (0: disabled);
+	// CheckpointHeight and CheckpointSeq locate the latest checkpoint
+	// written or restored by this service.
+	CheckpointInterval uint64
+	CheckpointHeight   uint64
+	CheckpointSeq      uint64
+}
+
+// StoreStatus reports the durable store's backend and checkpoint
+// position. ok is false when the service runs without a store.
+func (s *Service) StoreStatus(ctx context.Context) (StoreStatus, bool, error) {
+	var (
+		st StoreStatus
+		ok bool
+	)
+	err := s.do(ctx, func() error {
+		if s.ops == nil {
+			return nil
+		}
+		ok = true
+		st.CheckpointInterval = s.ckptInterval
+		st.CheckpointHeight = s.lastCkptHeight
+		st.CheckpointSeq = s.lastCkptSeq
+		if sp, has := s.ops.(store.StatsProvider); has {
+			stats := sp.Stats()
+			st.Kind = stats.Kind
+			st.Segments = stats.Segments
+			st.SegmentBytes = stats.SegmentBytes
+			st.MemtableBytes = stats.MemtableBytes
+			st.Flushes = stats.Flushes
+			st.Compactions = stats.Compactions
+		} else {
+			st.Kind = "custom"
+		}
+		return nil
+	})
+	return st, ok, err
+}
+
+// StateCommitment is the chain's current authenticated state root
+// under the MST commitment mode (WithMSTCommitment).
+type StateCommitment struct {
+	// Root is the Merkle-sum-tree root hash over all accounts.
+	Root Hash
+	// Sum is the tree's sum total (balances, low 64 bits, wrapping).
+	Sum uint64
+	// Commitment is the folded digest persisted in block records.
+	Commitment Hash
+	// Height is the chain head the root was read at.
+	Height uint64
+}
+
+// StateCommitment returns the current MST state root. It fails with
+// chain.ErrNoMSTCommitment unless WithMSTCommitment is enabled.
+func (s *Service) StateCommitment(ctx context.Context) (StateCommitment, error) {
+	var out StateCommitment
+	err := s.do(ctx, func() error {
+		root, err := s.sys.Chain.StateRoot()
+		if err != nil {
+			return err
+		}
+		out = StateCommitment{
+			Root:       root.Hash,
+			Sum:        root.Sum,
+			Commitment: chain.CommitmentDigest(root),
+			Height:     s.sys.Chain.Head().Number,
+		}
+		return nil
+	})
+	return out, err
+}
+
+// StateProof builds a light-client-verifiable membership proof that
+// addr's account is committed under the chain head's state commitment.
+// Requires WithMSTCommitment; verify with chain.VerifyAccountProof (or
+// client-side via rpc.Client.VerifyStateProof, which also re-digests
+// the account preimage).
+func (s *Service) StateProof(ctx context.Context, addr Address) (*AccountProof, error) {
+	var p *AccountProof
+	err := s.do(ctx, func() error {
+		var err error
+		p, err = s.sys.Chain.StateProof(addr)
+		return err
+	})
+	return p, err
+}
 
 // txSender returns the block producer on-chain operations go through.
 func (s *Service) txSender() protocol.TxSender {

@@ -88,6 +88,10 @@ type (
 	SensorReading = protocol.SensorReading
 	// Receipt is the result of one executed main-chain transaction.
 	Receipt = chain.Receipt
+	// AccountProof is a light-client-verifiable statement that one
+	// account is committed under a block's MST state commitment
+	// (Service.StateProof, WithMSTCommitment).
+	AccountProof = chain.AccountProof
 )
 
 // Well-known sensor and actuator identifiers for the IoT opcode.
